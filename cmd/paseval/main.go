@@ -1,0 +1,163 @@
+// Command paseval regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	paseval -exp table1            # Table 1: PAS vs BPO vs none
+//	paseval -exp table2            # Table 2: same-base comparison
+//	paseval -exp table3            # Table 3: flexibility matrix
+//	paseval -exp table4            # Table 4 + Figure 1(b): human eval
+//	paseval -exp table5            # Table 5: selection ablation
+//	paseval -exp fig6              # Figure 6: dataset distribution
+//	paseval -exp fig7              # Figure 7: data efficiency
+//	paseval -exp domain            # §3.3 domain-specialization extension
+//	paseval -exp leaderboard       # Bradley-Terry joint ranking
+//	paseval -exp cases             # §4.6 case studies
+//	paseval -exp all               # everything
+//
+// -quick shrinks the suites and pools for a fast smoke run; -json FILE
+// additionally writes the machine-readable bundle (implies -exp all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/evalbench"
+	"repro/internal/facet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paseval: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// domainPrompts sizes the §3.3 specialization study.
+func domainPrompts(quick bool) int {
+	if quick {
+		return 40
+	}
+	return 200
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paseval", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment id: table1|table2|table3|table4|table5|fig1|fig6|fig7|domain|leaderboard|cases|all")
+		quick    = fs.Bool("quick", false, "reduced-scale run (smaller suites and pools)")
+		jsonPath = fs.String("json", "", "also write the full machine-readable results bundle to this file (implies -exp all)")
+		seed     = fs.Int64("seed", 0, "offset every pipeline seed by this value (robustness sweeps)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := evalbench.DefaultOptions()
+	if *quick {
+		opt = evalbench.QuickOptions()
+	}
+	opt.Build.Seed += *seed
+	opt.Suite.Seed += *seed
+	log.Printf("preparing artifacts (corpus %d, arena %d, alpaca %d)...",
+		opt.Build.CorpusSize, opt.Suite.ArenaSize, opt.Suite.AlpacaSize)
+	art, err := evalbench.Prepare(opt)
+	if err != nil {
+		return err
+	}
+
+	want := strings.ToLower(*exp)
+	if *jsonPath != "" {
+		want = "all"
+	}
+	if want == "all" {
+		results, err := art.RunAll(domainPrompts(*quick))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, results.String())
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := results.WriteJSON(f); err != nil {
+				return err
+			}
+			log.Printf("wrote JSON bundle to %s", *jsonPath)
+		}
+		return nil
+	}
+
+	switch want {
+	case "table1":
+		rep, err := art.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "table2":
+		rep, err := art.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "table3":
+		fmt.Fprintln(w, art.Table3())
+	case "table4", "fig1":
+		rep, err := art.HumanStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "table5":
+		rep, err := art.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "fig6":
+		fmt.Fprintln(w, art.Figure6())
+	case "fig7":
+		rep, err := art.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "domain":
+		rep, err := art.DomainStudy(facet.Coding, domainPrompts(*quick))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "leaderboard":
+		rep, err := art.Leaderboard([]evalbench.Contender{
+			{MainModel: "gpt-4-turbo-2024-04-09", APE: art.PASAPE()},
+			{MainModel: "gpt-4-turbo-2024-04-09", APE: baselines.None{}},
+			{MainModel: "gpt-4-0613", APE: art.PASAPE()},
+			{MainModel: "gpt-4-0613", APE: baselines.None{}},
+			{MainModel: "gpt-3.5-turbo-1106", APE: baselines.None{}},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	case "cases":
+		cases, err := art.CaseStudies()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, evalbench.RenderCases(cases))
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig7", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "bogus", "-quick"}, &buf); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick=notabool"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunAllWithJSONBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick run takes ~30s")
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 5", "Figure 7", "leaderboard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle map[string]interface{}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"table1", "table5", "fig7", "domain", "leaderboard", "cases"} {
+		if _, ok := bundle[key]; !ok {
+			t.Errorf("JSON bundle missing %q", key)
+		}
+	}
+}

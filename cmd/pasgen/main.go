@@ -1,0 +1,81 @@
+// Command pasgen runs the PAS data pipeline end to end — synthetic corpus,
+// §3.1 curation, §3.2 complementary-pair generation with selection and
+// regeneration — and writes the resulting dataset as JSONL.
+//
+// Usage:
+//
+//	pasgen -out pairs.jsonl [-corpus 20000] [-cap 500] [-seed 1] [-no-selection]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/datastats"
+	"repro/internal/facet"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pasgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the command with the given arguments, writing the report
+// to w. Split from main for testability.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pasgen", flag.ContinueOnError)
+	var (
+		out         = fs.String("out", "pairs.jsonl", "output JSONL path")
+		corpusSize  = fs.Int("corpus", 20000, "raw synthetic corpus size")
+		cap         = fs.Int("cap", 500, "max pairs per category (0 = unlimited)")
+		seed        = fs.Int64("seed", 1, "generation seed")
+		noSelection = fs.Bool("no-selection", false, "disable the selection/regeneration stage (Table 5 ablation)")
+		stats       = fs.Bool("stats", false, "print the §3.3 dataset analysis report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.CorpusSize = *corpusSize
+	cfg.Seed = *seed
+	cfg.Augment.PerCategoryCap = *cap
+	cfg.Augment.HeavyCategoryCap = 3 * (*cap)
+	cfg.Augment.Selection = !*noSelection
+
+	res, err := pipeline.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Dataset.SaveFile(*out); err != nil {
+		return err
+	}
+
+	st := res.CurationStats
+	fmt.Fprintf(w, "curation: %d raw -> %d after dedup (-%d dups) -> %d after quality filter (junk dropped %d, leaked %d)\n",
+		st.Input, st.AfterDedup, st.DupCollapsed, st.AfterFilter, st.DroppedJunk, st.LeakedJunk)
+	as := res.AugmentStats
+	fmt.Fprintf(w, "augment: %d prompts, %d rejected by critic, %d regenerated, %d gave up, %d residual defects\n",
+		as.Prompts, as.Rejected, as.Regenerated, as.GaveUp, as.ResidualDefects)
+	fmt.Fprintf(w, "dataset: %d pairs -> %s\n", res.Dataset.Len(), *out)
+	counts := res.Dataset.CategoryCounts()
+	for _, c := range facet.Categories() {
+		fmt.Fprintf(w, "  %-14s %d\n", c.String(), counts[c])
+	}
+	if *stats {
+		rep, err := datastats.Analyze(res.Dataset)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, rep.String())
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunSmallPipeline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pairs.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-out", out, "-corpus", "1500", "-cap", "20", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	for _, want := range []string{"curation:", "augment:", "dataset:", "coding"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	d, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("no pairs written")
+	}
+	for c, n := range d.CategoryCounts() {
+		if limit := 60; n > limit { // heavy cap = 3*20
+			t.Errorf("category %v exceeds cap: %d", c, n)
+		}
+	}
+}
+
+func TestRunNoSelectionReportsDefects(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pairs.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", out, "-corpus", "1500", "-cap", "20", "-no-selection"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 rejected by critic") {
+		t.Fatalf("no-selection run should never reject:\n%s", buf.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-corpus", "not-a-number"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+	if err := run([]string{"-corpus", "0", "-out", filepath.Join(t.TempDir(), "x.jsonl")}, &buf); err == nil {
+		t.Fatal("zero corpus should fail")
+	}
+	if err := run([]string{"-corpus", "100", "-out", "/no/such/dir/x.jsonl"}, &buf); err == nil {
+		t.Fatal("unwritable output should fail")
+	}
+}
+
+func TestRunStatsReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pairs.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", out, "-corpus", "1200", "-cap", "15", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Dataset analysis") {
+		t.Fatalf("stats report missing:\n%s", buf.String())
+	}
+}

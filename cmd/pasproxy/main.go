@@ -1,0 +1,62 @@
+// Command pasproxy runs PAS as a transparent reverse proxy in front of
+// any OpenAI-style chat-completions endpoint: clients keep their SDKs and
+// simply point at the proxy, and every request's final user message gains
+// a complementary prompt on the way through.
+//
+// Usage:
+//
+//	pasproxy -model pas-model.json -upstream http://localhost:8423 [-addr :8424]
+//
+// Pair it with cmd/pasllm as the upstream for a fully local demo.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	pas "repro"
+	"repro/internal/httpmw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pasproxy: ")
+
+	var (
+		model    = flag.String("model", "pas-model.json", "trained PAS model (from pastrain)")
+		upstream = flag.String("upstream", "http://localhost:8423", "chat-completions endpoint to front")
+		addr     = flag.String("addr", ":8424", "listen address")
+	)
+	flag.Parse()
+
+	sys, err := pas.LoadSystem(*model)
+	if err != nil {
+		log.Fatalf("%v (train one with pastrain)", err)
+	}
+	proxy, err := pas.NewProxy(sys, *upstream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metrics := httpmw.NewMetrics()
+	logger := log.New(os.Stderr, "pasproxy: ", 0)
+	mux := http.NewServeMux()
+	mux.Handle("/", httpmw.Chain(proxy,
+		httpmw.Recover(logger),
+		httpmw.RequestID(),
+		httpmw.Logging(logger),
+		metrics.Middleware(),
+	))
+	mux.Handle("/metricsz", metrics.Handler())
+
+	log.Printf("augmenting traffic to %s on %s (PAS base %s)", *upstream, *addr, sys.BaseModel())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,80 @@
+// Command passerve exposes a trained PAS model as the plug-and-play HTTP
+// service:
+//
+//	POST /v1/augment {"prompt": "..."}  ->  {"complement": ..., "augmented": ...}
+//	GET  /healthz
+//
+// Usage:
+//
+//	passerve -model pas-model.json [-addr :8422]
+//
+// With -model "" (or a missing file and -build), the command builds a
+// fresh small PAS in-process, which is convenient for demos.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	pas "repro"
+	"repro/internal/httpmw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("passerve: ")
+
+	var (
+		model       = flag.String("model", "pas-model.json", "trained model path (from pastrain)")
+		addr        = flag.String("addr", ":8422", "listen address")
+		build       = flag.Bool("build", false, "ignore -model and build a small PAS in-process")
+		concurrency = flag.Int("concurrency", 64, "max in-flight requests")
+	)
+	flag.Parse()
+
+	var sys *pas.System
+	if *build {
+		log.Printf("building a fresh PAS (this takes a few seconds)...")
+		cfg := pas.DefaultConfig()
+		cfg.CorpusSize = 4000
+		cfg.ClassifierExamples = 3000
+		cfg.Augment.PerCategoryCap = 100
+		cfg.Augment.HeavyCategoryCap = 200
+		res, err := pas.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = res.System
+	} else {
+		var err error
+		sys, err = pas.LoadSystem(*model)
+		if err != nil {
+			log.Fatalf("%v (train one with pastrain, or pass -build)", err)
+		}
+	}
+
+	metrics := httpmw.NewMetrics()
+	logger := log.New(os.Stderr, "passerve: ", 0)
+	mux := http.NewServeMux()
+	mux.Handle("/", httpmw.Chain(sys.Handler(),
+		httpmw.Recover(logger),
+		httpmw.RequestID(),
+		httpmw.Logging(logger),
+		httpmw.ConcurrencyLimit(*concurrency),
+		metrics.Middleware(),
+	))
+	mux.Handle("/metricsz", metrics.Handler())
+
+	log.Printf("serving PAS (base %s) on %s", sys.BaseModel(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,67 @@
+// Command pastrain fine-tunes a PAS model from a JSONL pair dataset
+// (typically produced by pasgen) and saves it for serving.
+//
+// Usage:
+//
+//	pastrain -data pairs.jsonl -out pas-model.json [-base qwen2-7b-chat]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/sft"
+	"repro/internal/simllm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pastrain: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the command with the given arguments, writing the report
+// to w. Split from main for testability.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pastrain", flag.ContinueOnError)
+	var (
+		data = fs.String("data", "pairs.jsonl", "training dataset (JSONL)")
+		out  = fs.String("out", "pas-model.json", "output model path")
+		base = fs.String("base", simllm.Qwen27B, "base model to fine-tune ("+strings.Join(simllm.Roster(), ", ")+")")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := dataset.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	profile, err := simllm.LookupProfile(*base)
+	if err != nil {
+		return err
+	}
+	baseModel, err := simllm.New(profile)
+	if err != nil {
+		return err
+	}
+	model, err := sft.Train(baseModel, d, sft.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := model.SaveFile(*out); err != nil {
+		return err
+	}
+	pol := model.Policy()
+	fmt.Fprintf(w, "trained PAS on %s with %d pairs -> %s\n", *base, d.Len(), *out)
+	fmt.Fprintf(w, "learned habits: leak %.3f, conflict %.3f, overreach %.3f, trap-directive %.2f, avg facets %.2f\n",
+		pol.LeakRate, pol.ConflictRate, pol.OverreachRate, pol.TrapDirective, pol.AvgFacets)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sft"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	var d dataset.Dataset
+	for _, pairs := range dataset.Golden() {
+		for _, p := range pairs {
+			if err := d.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "pairs.jsonl")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	data := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "model.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-data", data, "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trained PAS on qwen2-7b-chat") {
+		t.Fatalf("report:\n%s", buf.String())
+	}
+	m, err := sft.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BaseName() != "qwen2-7b-chat" {
+		t.Fatalf("base = %s", m.BaseName())
+	}
+	if m.Complement("Write a python function to sort a list.", "x") == "" {
+		t.Fatal("trained model produced nothing")
+	}
+}
+
+func TestRunAlternativeBase(t *testing.T) {
+	data := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "model.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-data", data, "-out", out, "-base", "llama-2-7b-instruct"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "llama-2-7b-instruct") {
+		t.Fatal("base not reported")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-data", "/no/such/file.jsonl"}, &buf); err == nil {
+		t.Error("missing dataset should fail")
+	}
+	if err := run([]string{"-data", writeDataset(t), "-base", "bogus-model"}, &buf); err == nil {
+		t.Error("unknown base should fail")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

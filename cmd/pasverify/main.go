@@ -1,0 +1,82 @@
+// Command pasverify is the reproduction check: it re-runs the full
+// experiment suite at quick scale and compares the machine-readable
+// bundle against a previously saved expected file, byte for byte. The
+// entire stack is deterministic, so any difference means the code (not
+// the luck) changed — the check a reproduction CI would run on every
+// commit.
+//
+// Usage:
+//
+//	pasverify -record expected_quick.json     # save the current bundle
+//	pasverify -expected expected_quick.json   # re-run and compare
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/evalbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pasverify: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pasverify", flag.ContinueOnError)
+	var (
+		record   = fs.String("record", "", "write the quick-scale results bundle to this file and exit")
+		expected = fs.String("expected", "", "compare a fresh quick-scale run against this bundle")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*record == "") == (*expected == "") {
+		return fmt.Errorf("exactly one of -record or -expected is required")
+	}
+	var want []byte
+	if *expected != "" {
+		// Read before the expensive run so a bad path fails fast.
+		var err error
+		if want, err = os.ReadFile(*expected); err != nil {
+			return err
+		}
+	}
+
+	log.Printf("running the quick-scale experiment suite...")
+	art, err := evalbench.Prepare(evalbench.QuickOptions())
+	if err != nil {
+		return err
+	}
+	results, err := art.RunAll(40)
+	if err != nil {
+		return err
+	}
+	var fresh bytes.Buffer
+	if err := results.WriteJSON(&fresh); err != nil {
+		return err
+	}
+
+	if *record != "" {
+		if err := os.WriteFile(*record, fresh.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "recorded %d bytes to %s\n", fresh.Len(), *record)
+		return nil
+	}
+
+	if !bytes.Equal(want, fresh.Bytes()) {
+		return fmt.Errorf("results differ from %s (%d vs %d bytes) — the pipeline's behaviour changed",
+			*expected, len(want), fresh.Len())
+	}
+	fmt.Fprintf(w, "OK: results match %s exactly\n", *expected)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordThenVerifyRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quick-scale suite runs take ~1 minute")
+	}
+	path := filepath.Join(t.TempDir(), "expected.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-record", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recorded") {
+		t.Fatalf("record output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-expected", path}, &buf); err != nil {
+		t.Fatalf("verify against own recording failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "OK") {
+		t.Fatalf("verify output: %s", buf.String())
+	}
+
+	// Tamper with the expectation: verification must fail loudly.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, ' '), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-expected", path}, &buf); err == nil {
+		t.Fatal("tampered expectation should fail verification")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("neither flag should fail")
+	}
+	if err := run([]string{"-record", "a", "-expected", "b"}, &buf); err == nil {
+		t.Error("both flags should fail")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestVerifyMissingExpectedFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-expected", filepath.Join(t.TempDir(), "none.json")}, &buf); err == nil {
+		t.Fatal("missing expected file should fail")
+	}
+}

@@ -1,0 +1,78 @@
+// Codingassistant shows PAS plugged in front of a coding workload — the
+// dominant category of the paper's dataset (Figure 6). It trains PAS
+// once, saves the model to disk, reloads it (the deployment path), and
+// then augments a batch of coding prompts, printing what the judge thinks
+// of the bare versus augmented responses.
+//
+//	go run ./examples/codingassistant
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	pas "repro"
+	"repro/internal/judge"
+	"repro/internal/simllm"
+)
+
+var codingPrompts = []string{
+	"Write a python function that implements an LRU cache.",
+	"My golang code for a websocket server has a bug, help me debug it.",
+	"Implement a bloom filter in rust and explain the algorithm.",
+	"Write unit tests in python for a JSON parser.",
+	"Refactor this javascript script that builds a trie to be faster.",
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Train once and persist — the model file is what a deployment ships.
+	cfg := pas.DefaultConfig()
+	cfg.CorpusSize = 3000
+	cfg.ClassifierExamples = 2000
+	cfg.Augment.PerCategoryCap = 60
+	cfg.Augment.HeavyCategoryCap = 160
+	built, err := pas.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "pas-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "pas-coding.json")
+	if err := built.System.SaveModel(modelPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reload from disk, as a service would.
+	system, err := pas.LoadSystem(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded PAS model (base %s) from %s\n\n", system.BaseModel(), modelPath)
+
+	assistant := simllm.MustModel(simllm.GPT40613)
+	j := judge.MustNew(judge.DefaultConfig())
+
+	var bareTotal, augTotal float64
+	for i, prompt := range codingPrompts {
+		salt := fmt.Sprintf("code/%d", i)
+		complement := system.Complement(prompt, salt)
+		bare := assistant.Respond(prompt, simllm.Options{Salt: salt})
+		augmented := assistant.Respond(system.Augment(prompt, salt), simllm.Options{Salt: salt})
+
+		sb, sa := j.Score(prompt, bare), j.Score(prompt, augmented)
+		bareTotal += sb
+		augTotal += sa
+		fmt.Printf("prompt %d: %s\n", i+1, prompt)
+		fmt.Printf("  PAS adds: %s\n", complement)
+		fmt.Printf("  judge: bare %.2f vs augmented %.2f\n\n", sb, sa)
+	}
+	fmt.Printf("mean judge score: bare %.2f, augmented %.2f\n",
+		bareTotal/float64(len(codingPrompts)), augTotal/float64(len(codingPrompts)))
+}

@@ -1,0 +1,73 @@
+// Httpplugin demonstrates the plug-and-play deployment of §3.4: PAS runs
+// as an HTTP microservice and a separate application (here, in the same
+// process for convenience) calls it before talking to its own LLM. This
+// is the integration path for models "available via public APIs".
+//
+//	go run ./examples/httpplugin
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	pas "repro"
+	"repro/internal/simllm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- service side -------------------------------------------------
+	cfg := pas.DefaultConfig()
+	cfg.CorpusSize = 3000
+	cfg.ClassifierExamples = 2000
+	cfg.Augment.PerCategoryCap = 60
+	cfg.Augment.HeavyCategoryCap = 120
+	built, err := pas.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: built.System.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("PAS service listening on %s\n\n", baseURL)
+
+	// --- application side ----------------------------------------------
+	client, err := pas.NewClient(baseURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !client.Healthy() {
+		log.Fatal("service unhealthy")
+	}
+
+	llm := simllm.MustModel(simllm.Qwen272B) // the application's own model
+	prompts := []string{
+		"Give me advice on negotiating a salary offer.",
+		"Summarize this long article about coral reefs into key points.",
+		"Explain the science of fermentation.",
+	}
+	for i, p := range prompts {
+		out, err := client.Augment(p, fmt.Sprintf("req/%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := llm.Respond(out.Augmented, simllm.Options{Salt: fmt.Sprintf("req/%d", i)})
+		fmt.Printf("prompt: %s\n", p)
+		fmt.Printf("  service complement: %s\n", out.Complement)
+		fmt.Printf("  %s replied with %d chars\n\n", llm.Name(), len(resp))
+	}
+	fmt.Println("done — any HTTP-capable application can plug PAS in the same way")
+}

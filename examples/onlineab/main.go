@@ -1,0 +1,85 @@
+// Onlineab runs the deployment decision a PAS rollout actually faces:
+// split live traffic between a control arm (no augmentation) and a
+// treatment arm (PAS), collect availability signals from raters, and
+// stop when the two-proportion test is conclusive — the §4.5 online
+// evaluation as a reusable experiment.
+//
+//	go run ./examples/onlineab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pas "repro"
+	"repro/internal/abtest"
+	"repro/internal/corpus"
+	"repro/internal/humaneval"
+	"repro/internal/simllm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := pas.DefaultConfig()
+	cfg.CorpusSize = 3000
+	cfg.ClassifierExamples = 2000
+	cfg.Augment.PerCategoryCap = 60
+	cfg.Augment.HeavyCategoryCap = 120
+	fmt.Println("building PAS...")
+	built, err := pas.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live traffic: a stream of fresh user prompts.
+	trafficCfg := corpus.DefaultConfig()
+	trafficCfg.Seed = 4242
+	trafficCfg.Size = 400
+	trafficCfg.JunkRate = 0
+	trafficCfg.DuplicateRate = 0
+	traffic, err := corpus.Generate(trafficCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raters, err := humaneval.NewPool(5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	main := simllm.MustModel(simllm.Qwen272B)
+
+	test, err := abtest.New(abtest.Config{Alpha: 0.05, MinPerArm: 80, Sequential: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, p := range traffic {
+		salt := fmt.Sprintf("traffic/%d", i)
+		arm := test.Assign()
+		input := p.Text
+		if arm == abtest.Treatment {
+			input = built.System.Augment(p.Text, salt)
+		}
+		resp := main.Respond(input, simllm.Options{Salt: salt})
+		success := raters[i%len(raters)].Rate(p.Text, resp) >= 4
+		if err := test.Record(arm, success); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%100 == 0 {
+			r := test.Evaluate()
+			fmt.Printf("after %3d requests: %s\n", i+1, r)
+			if r.Significant {
+				break
+			}
+		}
+	}
+
+	final := test.Evaluate()
+	fmt.Printf("\nfinal: %s\n", final)
+	if final.Significant && final.TreatmentWins {
+		fmt.Println("decision: roll PAS out to 100% of traffic")
+	} else {
+		fmt.Println("decision: keep collecting")
+	}
+}

@@ -1,0 +1,114 @@
+package chatapi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simllm"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", ChatResponse{ID: "ra"})
+	c.put("b", ChatResponse{ID: "rb"})
+	if got, ok := c.get("a"); !ok || got.ID != "ra" {
+		t.Fatal("a missing")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.put("c", ChatResponse{ID: "rc"})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	hits, misses := c.stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("k", ChatResponse{ID: "v1"})
+	c.put("k", ChatResponse{ID: "v2"})
+	if got, _ := c.get("k"); got.ID != "v2" {
+		t.Fatal("update lost")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+// TestLRUCapacityProperty: the cache never exceeds its capacity, for any
+// insertion sequence.
+func TestLRUCapacityProperty(t *testing.T) {
+	f := func(keys []uint8, capRaw uint8) bool {
+		capacity := int(capRaw)%10 + 1
+		c := newLRUCache(capacity)
+		for _, k := range keys {
+			c.put(fmt.Sprint(k%32), ChatResponse{})
+			if c.len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCacheServesIdenticalResponses(t *testing.T) {
+	s, err := NewServer(ServerConfig{CacheSize: 16, Tokenizer: testTokenizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestHTTP(t, s)
+	c := testClient(t, srv)
+
+	req := ChatRequest{Model: simllm.GPT40613, Seed: "cache",
+		Messages: []Message{{Role: "user", Content: "Explain how tides form."}}}
+	first, err := c.ChatCompletion(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.ChatCompletion(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != second.ID || first.Choices[0].Message.Content != second.Choices[0].Message.Content ||
+		first.Usage != second.Usage {
+		t.Fatal("cached response differs from original")
+	}
+	hits, misses := s.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	// Different seed must miss.
+	req.Seed = "other"
+	if _, err := c.ChatCompletion(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := s.CacheStats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+func TestServerCacheValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{CacheSize: -1}); err == nil {
+		t.Fatal("negative cache size should fail")
+	}
+	s, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := s.CacheStats(); h != 0 || m != 0 {
+		t.Fatal("disabled cache should report zeros")
+	}
+}

@@ -1,0 +1,174 @@
+package chatapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/simllm"
+)
+
+// ClientConfig configures a chat-completions client.
+type ClientConfig struct {
+	// BaseURL is the endpoint root, e.g. "http://localhost:9090".
+	BaseURL string
+	// APIKey is sent as a bearer token; empty means anonymous.
+	APIKey string
+	// MaxRetries bounds retry attempts on 429/5xx responses and
+	// transport errors.
+	MaxRetries int
+	// Backoff is the base delay between retries (exponential); tests
+	// set it to ~0.
+	Backoff time.Duration
+	// HTTPClient overrides the transport; nil uses a 30s-timeout client.
+	HTTPClient *http.Client
+}
+
+// Client calls a chat-completions endpoint with bounded retries — the
+// production shim any real PAS deployment needs in front of a public
+// LLM API.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient validates the configuration.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("chatapi: empty base URL")
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("chatapi: MaxRetries must be >= 0, got %d", cfg.MaxRetries)
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 200 * time.Millisecond
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// ChatCompletion performs one completion request, retrying retryable
+// failures.
+func (c *Client) ChatCompletion(req ChatRequest) (ChatResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ChatResponse{}, fmt.Errorf("chatapi: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Backoff << uint(attempt-1))
+		}
+		resp, retryable, err := c.try(body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return ChatResponse{}, lastErr
+}
+
+func (c *Client) try(body []byte) (ChatResponse, bool, error) {
+	httpReq, err := http.NewRequest(http.MethodPost, c.cfg.BaseURL+"/v1/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return ChatResponse{}, false, fmt.Errorf("chatapi: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.cfg.APIKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
+	}
+	resp, err := c.cfg.HTTPClient.Do(httpReq)
+	if err != nil {
+		return ChatResponse{}, true, fmt.Errorf("chatapi: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return ChatResponse{}, true, fmt.Errorf("chatapi: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		var e apiError
+		if json.Unmarshal(raw, &e) == nil && e.Error.Message != "" {
+			return ChatResponse{}, retryable, fmt.Errorf("chatapi: %s (%d): %s", e.Error.Type, resp.StatusCode, e.Error.Message)
+		}
+		return ChatResponse{}, retryable, fmt.Errorf("chatapi: status %d", resp.StatusCode)
+	}
+	var out ChatResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return ChatResponse{}, false, fmt.Errorf("chatapi: decoding response: %w", err)
+	}
+	if len(out.Choices) == 0 {
+		return ChatResponse{}, false, fmt.Errorf("chatapi: response has no choices")
+	}
+	return out, false, nil
+}
+
+// Models lists the models the endpoint serves.
+func (c *Client) Models() ([]string, error) {
+	resp, err := c.cfg.HTTPClient.Get(c.cfg.BaseURL + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("chatapi: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("chatapi: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Data []struct {
+			ID string `json:"id"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("chatapi: decoding models: %w", err)
+	}
+	names := make([]string, len(out.Data))
+	for i, d := range out.Data {
+		names[i] = d.ID
+	}
+	return names, nil
+}
+
+// Remote adapts one served model behind a Client to the simllm chat
+// interface, so library code (pas.System.Enhance in particular) can drive
+// a model over HTTP exactly like an in-process one.
+type Remote struct {
+	client *Client
+	model  string
+}
+
+// NewRemote binds a client to one model name.
+func NewRemote(client *Client, model string) (*Remote, error) {
+	if client == nil {
+		return nil, fmt.Errorf("chatapi: nil client")
+	}
+	if model == "" {
+		return nil, fmt.Errorf("chatapi: empty model name")
+	}
+	return &Remote{client: client, model: model}, nil
+}
+
+// Name returns the remote model's name.
+func (r *Remote) Name() string { return r.model }
+
+// Chat implements the simllm chat signature over HTTP.
+func (r *Remote) Chat(messages []simllm.Message, opt simllm.Options) (string, error) {
+	req := ChatRequest{Model: r.model, Temperature: opt.Temperature, Seed: opt.Salt}
+	for _, m := range messages {
+		req.Messages = append(req.Messages, Message{Role: m.Role, Content: m.Content})
+	}
+	resp, err := r.client.ChatCompletion(req)
+	if err != nil {
+		return "", err
+	}
+	return resp.Choices[0].Message.Content, nil
+}

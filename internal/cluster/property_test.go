@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+)
+
+func randomUnitVecs(seed int64, n, dim int) []embed.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]embed.Vector, n)
+	for i := range out {
+		v := make(embed.Vector, dim)
+		var norm float64
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+			norm += float64(v[j]) * float64(v[j])
+		}
+		if norm == 0 {
+			v[0] = 1
+			norm = 1
+		}
+		for j := range v {
+			v[j] = float32(float64(v[j]) / math.Sqrt(norm))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestGroupsPartitionProperty: for any input, NearDuplicates returns a
+// partition — every index in exactly one group, representative a member.
+func TestGroupsPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 1
+		vecs := randomUnitVecs(seed, n, 12)
+		groups, err := NearDuplicates(vecs, DefaultDedupConfig())
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			repOK := false
+			for _, m := range g.Members {
+				if m < 0 || m >= n || seen[m] {
+					return false
+				}
+				seen[m] = true
+				if m == g.Representative {
+					repOK = true
+				}
+			}
+			if !repOK {
+				return false
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKMeansAssignmentProperty: assignments index valid centroids and
+// every vector is assigned.
+func TestKMeansAssignmentProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		k := int(kRaw)%8 + 1
+		vecs := randomUnitVecs(seed, n, 8)
+		assign, err := KMeans(vecs, k, 10, seed)
+		if err != nil {
+			return false
+		}
+		if len(assign) != n {
+			return false
+		}
+		effK := k
+		if effK > n {
+			effK = n
+		}
+		for _, a := range assign {
+			if a < 0 || a >= effK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKCenterGreedyProperty: selection is sorted, unique, within range,
+// and exactly min(m, n) long.
+func TestKCenterGreedyProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw)%60 + 1
+		vecs := randomUnitVecs(seed, n, 8)
+		sel := KCenterGreedy(vecs, m)
+		want := m
+		if want > n {
+			want = n
+		}
+		if len(sel) != want {
+			return false
+		}
+		for i, s := range sel {
+			if s < 0 || s >= n {
+				return false
+			}
+			if i > 0 && sel[i] <= sel[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

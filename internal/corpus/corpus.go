@@ -1,0 +1,260 @@
+// Package corpus synthesises the raw prompt pool that stands in for the
+// LMSYS-Chat-1M and WildChat datasets of §3.1. The generator produces
+// realistic user prompts across the paper's 14 categories with controlled
+// rates of near-duplicates (for the dedup stage to find), junk entries
+// (for the quality filter to drop), and logic traps (for case study 1).
+//
+// Each prompt carries its hidden ground truth so tests and experiment
+// harnesses can measure pipeline stages, but every downstream model reads
+// only the text.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/facet"
+)
+
+// Prompt is one synthetic user prompt.
+type Prompt struct {
+	// ID is unique within one generated pool.
+	ID int
+	// Text is what every model sees.
+	Text string
+	// Truth is the generator's hidden ground truth, for evaluation only.
+	Truth Truth
+}
+
+// Truth records what the generator intended a prompt to be.
+type Truth struct {
+	// Category the prompt was generated from.
+	Category facet.Category
+	// Constraints the text explicitly states (e.g. "briefly").
+	Constraints facet.Set
+	// TrapName is the logic trap embedded in the text, or "".
+	TrapName string
+	// Quality is intrinsic prompt clarity in [0,1]; junk is near 0.
+	Quality float64
+	// DupOf is the ID of the prompt this one paraphrases, or -1.
+	DupOf int
+	// Junk marks unusable noise entries.
+	Junk bool
+}
+
+// Config controls pool generation.
+type Config struct {
+	// Size is the number of prompts to generate.
+	Size int
+	// Seed drives all sampling.
+	Seed int64
+	// DuplicateRate is the fraction of prompts that paraphrase an
+	// earlier prompt (LMSYS-style redundancy). Typical: 0.25.
+	DuplicateRate float64
+	// JunkRate is the fraction of junk entries. Typical: 0.1.
+	JunkRate float64
+	// TrapRate is the fraction of reasoning prompts that embed a trap.
+	TrapRate float64
+	// CategoryBias skews sampling toward Coding and QA as in Figure 6;
+	// 0 means uniform, 1 means strongly skewed. Typical: 0.5.
+	CategoryBias float64
+}
+
+// DefaultConfig returns the pool shape used across the experiments.
+func DefaultConfig() Config {
+	return Config{Size: 4000, Seed: 1, DuplicateRate: 0.25, JunkRate: 0.10, TrapRate: 0.5, CategoryBias: 0.5}
+}
+
+// Generate produces a synthetic prompt pool.
+// It returns an error when the configuration is out of range.
+func Generate(cfg Config) ([]Prompt, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("corpus: size must be positive, got %d", cfg.Size)
+	}
+	for name, r := range map[string]float64{
+		"DuplicateRate": cfg.DuplicateRate, "JunkRate": cfg.JunkRate,
+		"TrapRate": cfg.TrapRate, "CategoryBias": cfg.CategoryBias,
+	} {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("corpus: %s must be in [0,1], got %v", name, r)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := make([]Prompt, 0, cfg.Size)
+	var originals []int // indices of non-junk originals, duplicate sources
+	for i := 0; i < cfg.Size; i++ {
+		switch {
+		case rng.Float64() < cfg.JunkRate:
+			pool = append(pool, junkPrompt(i, rng))
+		case len(originals) > 0 && rng.Float64() < cfg.DuplicateRate:
+			src := pool[originals[rng.Intn(len(originals))]]
+			pool = append(pool, paraphrase(i, src, rng))
+		default:
+			p := freshPrompt(i, rng, cfg)
+			originals = append(originals, len(pool))
+			pool = append(pool, p)
+		}
+	}
+	return pool, nil
+}
+
+func sampleCategory(rng *rand.Rand, bias float64) facet.Category {
+	// Weight Coding and QA up by the bias factor, as in Figure 6 where
+	// those two dominate the distribution.
+	weights := make([]float64, facet.CategoryCount)
+	var total float64
+	for i := range weights {
+		w := 1.0
+		if facet.Category(i) == facet.Coding || facet.Category(i) == facet.QA {
+			w += 4 * bias
+		}
+		weights[i] = w
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return facet.Category(i)
+		}
+	}
+	return facet.Chitchat
+}
+
+func freshPrompt(id int, rng *rand.Rand, cfg Config) Prompt {
+	cat := sampleCategory(rng, cfg.CategoryBias)
+	var text string
+	var truth Truth
+	truth.Category = cat
+	truth.DupOf = -1
+	truth.Quality = 0.55 + 0.45*rng.Float64()
+
+	if cat == facet.Reason && rng.Float64() < cfg.TrapRate {
+		traps := facet.Traps()
+		tr := traps[rng.Intn(len(traps))]
+		text = renderTrapPrompt(tr, rng)
+		truth.TrapName = tr.Name
+	} else {
+		text = renderTemplate(cat, rng)
+	}
+
+	// Real users qualify their asks; qualifiers multiply the surface
+	// diversity of the pool the way distinct LMSYS users do.
+	if rng.Float64() < 0.50 {
+		text += " " + qualifiers[rng.Intn(len(qualifiers))]
+	}
+	if rng.Float64() < 0.30 {
+		text = personas[rng.Intn(len(personas))] + " " + lowerFirst(text)
+	}
+
+	// Sometimes the user states an explicit constraint; the generated
+	// text must carry a cue the analyzer recognises.
+	if rng.Float64() < 0.30 {
+		switch rng.Intn(3) {
+		case 0:
+			text = "Briefly, " + lowerFirst(text)
+			truth.Constraints = truth.Constraints.With(facet.Conciseness)
+		case 1:
+			text += " Use an organized format with a list."
+			truth.Constraints = truth.Constraints.With(facet.Structure)
+		case 2:
+			text += " Keep a formal tone."
+			truth.Constraints = truth.Constraints.With(facet.Style)
+		}
+	}
+	// Low-clarity originals read vaguer: strip detail words.
+	if truth.Quality < 0.65 {
+		text = vaguen(text, rng)
+	}
+	return Prompt{ID: id, Text: text, Truth: truth}
+}
+
+// qualifiers and personas add user-specific colour to generated prompts.
+// They deliberately avoid the constraint cues ("briefly", "formal") and
+// foreign category cues so they vary the surface without changing the
+// ground truth.
+var qualifiers = []string{
+	"Aim it at a beginner audience.",
+	"Assume I already know the basics.",
+	"This is for a school project.",
+	"It is for an internal wiki page.",
+	"I will present this to my manager.",
+	"Focus on the practical side.",
+	"I care most about the underlying intuition.",
+	"Treat edge conditions carefully.",
+	"My last attempt at this went poorly.",
+	"Time is not a constraint here.",
+}
+
+var personas = []string{
+	"As a newcomer,",
+	"As someone switching careers,",
+	"Speaking as a hobbyist,",
+	"On behalf of my study group,",
+	"Wearing my reviewer hat,",
+	"For my side project,",
+}
+
+func junkPrompt(id int, rng *rand.Rand) Prompt {
+	junk := []string{
+		"asdf asdf asdf",
+		"??",
+		"test test 123 test",
+		"hhhhhhhhhh",
+		".",
+		"lorem ipsum dolor",
+		"aaaa bbbb cccc dddd",
+		"x",
+	}
+	return Prompt{
+		ID:   id,
+		Text: junk[rng.Intn(len(junk))],
+		Truth: Truth{
+			Category: facet.Chitchat,
+			Quality:  0.05 * rng.Float64(),
+			DupOf:    -1,
+			Junk:     true,
+		},
+	}
+}
+
+// paraphrase produces a near-duplicate of src: same content words, light
+// boilerplate changes — exactly the redundancy HNSW dedup must catch.
+func paraphrase(id int, src Prompt, rng *rand.Rand) Prompt {
+	text := src.Text
+	n := 4
+	if src.Truth.TrapName != "" {
+		// Word substitution could break the trap cue phrase; restrict
+		// trap paraphrases to prefix/suffix edits.
+		n = 3
+	}
+	switch rng.Intn(n) {
+	case 0:
+		text = "Please " + lowerFirst(text)
+	case 1:
+		text = text + " Thanks!"
+	case 2:
+		text = "Hey, " + lowerFirst(text)
+	case 3:
+		text = strings.Replace(text, " the ", " a ", 1)
+	}
+	truth := src.Truth
+	truth.DupOf = src.ID
+	truth.Quality = src.Truth.Quality * (0.9 + 0.1*rng.Float64())
+	return Prompt{ID: id, Text: text, Truth: truth}
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// vaguen removes one concrete qualifier to lower prompt clarity.
+func vaguen(s string, rng *rand.Rand) string {
+	drops := []string{" exactly", " in detail", " specific", " concrete"}
+	d := drops[rng.Intn(len(drops))]
+	return strings.Replace(s, d, "", 1)
+}

@@ -1,0 +1,231 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/facet"
+)
+
+func mustGenerate(t *testing.T, cfg Config) []Prompt {
+	t.Helper()
+	pool, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Size: 0}); err == nil {
+		t.Error("size 0 should fail")
+	}
+	bad := DefaultConfig()
+	bad.JunkRate = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+	bad = DefaultConfig()
+	bad.DuplicateRate = -0.1
+	if _, err := Generate(bad); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestGenerateSizeAndIDs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 500
+	pool := mustGenerate(t, cfg)
+	if len(pool) != 500 {
+		t.Fatalf("size = %d", len(pool))
+	}
+	for i, p := range pool {
+		if p.ID != i {
+			t.Fatalf("prompt %d has ID %d", i, p.ID)
+		}
+		if strings.TrimSpace(p.Text) == "" {
+			t.Fatalf("prompt %d has empty text", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 200
+	a := mustGenerate(t, cfg)
+	b := mustGenerate(t, cfg)
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Truth != b[i].Truth {
+			t.Fatalf("prompt %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestRatesApproximatelyHonoured(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 3000
+	pool := mustGenerate(t, cfg)
+	var junk, dup int
+	for _, p := range pool {
+		if p.Truth.Junk {
+			junk++
+		}
+		if p.Truth.DupOf >= 0 {
+			dup++
+		}
+	}
+	junkFrac := float64(junk) / float64(len(pool))
+	dupFrac := float64(dup) / float64(len(pool))
+	if junkFrac < 0.05 || junkFrac > 0.15 {
+		t.Errorf("junk fraction = %.3f, want near 0.10", junkFrac)
+	}
+	if dupFrac < 0.15 || dupFrac > 0.30 {
+		t.Errorf("dup fraction = %.3f, want near 0.22", dupFrac)
+	}
+}
+
+func TestDuplicatesReferenceEarlierPrompt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 1000
+	pool := mustGenerate(t, cfg)
+	byID := map[int]Prompt{}
+	for _, p := range pool {
+		byID[p.ID] = p
+	}
+	for _, p := range pool {
+		if p.Truth.DupOf < 0 {
+			continue
+		}
+		src, ok := byID[p.Truth.DupOf]
+		if !ok {
+			t.Fatalf("dup %d references missing source %d", p.ID, p.Truth.DupOf)
+		}
+		if src.ID >= p.ID {
+			t.Fatalf("dup %d references later prompt %d", p.ID, src.ID)
+		}
+		if src.Truth.Junk {
+			t.Fatalf("dup %d paraphrases junk", p.ID)
+		}
+		if p.Truth.Category != src.Truth.Category {
+			t.Fatalf("dup %d changed category", p.ID)
+		}
+	}
+}
+
+func TestCategoryBiasSkewsTowardCodingAndQA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 4000
+	pool := mustGenerate(t, cfg)
+	counts := map[facet.Category]int{}
+	for _, p := range pool {
+		if !p.Truth.Junk {
+			counts[p.Truth.Category]++
+		}
+	}
+	avg := 0
+	for _, c := range facet.Categories() {
+		avg += counts[c]
+	}
+	avgPer := avg / facet.CategoryCount
+	if counts[facet.Coding] < avgPer*2 {
+		t.Errorf("coding count %d not skewed above average %d", counts[facet.Coding], avgPer)
+	}
+	if counts[facet.QA] < avgPer*2 {
+		t.Errorf("qa count %d not skewed above average %d", counts[facet.QA], avgPer)
+	}
+	// Every category must still appear (Figure 6 covers all 14).
+	for _, c := range facet.Categories() {
+		if counts[c] == 0 {
+			t.Errorf("category %v never generated", c)
+		}
+	}
+}
+
+func TestTrapPromptsAreDetectable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 4000
+	pool := mustGenerate(t, cfg)
+	traps := 0
+	for _, p := range pool {
+		if p.Truth.TrapName == "" {
+			continue
+		}
+		traps++
+		tr, ok := facet.FindTrap(p.Text)
+		if !ok {
+			t.Fatalf("trap prompt %q not detectable", p.Text)
+		}
+		if tr.Name != p.Truth.TrapName {
+			t.Fatalf("trap mismatch: text %q detected %s, truth %s", p.Text, tr.Name, p.Truth.TrapName)
+		}
+	}
+	if traps == 0 {
+		t.Fatal("no trap prompts generated")
+	}
+}
+
+func TestConstraintCuesSurviveInText(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 2000
+	pool := mustGenerate(t, cfg)
+	checked := 0
+	for _, p := range pool {
+		if p.Truth.Junk || p.Truth.Constraints == 0 || p.Truth.DupOf >= 0 {
+			continue
+		}
+		checked++
+		a := facet.AnalyzePrompt(p.Text)
+		for _, f := range p.Truth.Constraints.Facets() {
+			if !a.Constraints.Has(f) {
+				t.Fatalf("constraint %v lost in text %q (analyzer saw %v)", f, p.Text, a.Constraints)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no constrained prompts generated")
+	}
+}
+
+func TestHeuristicCategoryRecovery(t *testing.T) {
+	// The analyzer's category guess should beat chance by a wide margin
+	// on clean originals; the trained classifier (tested elsewhere) does
+	// better still.
+	cfg := DefaultConfig()
+	cfg.Size = 3000
+	pool := mustGenerate(t, cfg)
+	var total, hit int
+	for _, p := range pool {
+		if p.Truth.Junk || p.Truth.DupOf >= 0 {
+			continue
+		}
+		total++
+		if facet.AnalyzePrompt(p.Text).Category == p.Truth.Category {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(total)
+	if acc < 0.55 {
+		t.Fatalf("heuristic category accuracy = %.3f, want >= 0.55", acc)
+	}
+}
+
+func TestJunkIsLowQuality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 1000
+	for _, p := range mustGenerate(t, cfg) {
+		if p.Truth.Junk && p.Truth.Quality > 0.2 {
+			t.Fatalf("junk prompt with quality %.2f", p.Truth.Quality)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Size = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

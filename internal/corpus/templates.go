@@ -1,0 +1,302 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/facet"
+)
+
+// Template banks. Every template embeds cue words from the category's
+// lexicon (see facet.CategoryCues) so that the heuristic analyzer and the
+// trained classifier have a real signal to recover — the same reason real
+// coding prompts contain the word "function".
+
+var codingTopics = []string{
+	"a binary search tree", "a rate limiter", "an LRU cache", "a JSON parser",
+	"a websocket server", "a regex matcher", "a thread pool", "a bloom filter",
+	"a csv importer", "a retry wrapper", "a merge sort", "a trie",
+	"a consistent hash ring", "a skip list", "a token bucket", "a priority queue",
+	"a graph topological sort", "an event bus", "a memo cache", "a diff algorithm",
+	"a url shortener", "a state machine", "a cron parser", "a b tree",
+}
+
+var codingLangs = []string{"python", "golang", "javascript", "rust", "java", "c"}
+
+var codingTemplates = []string{
+	"Write a %s function that implements %s.",
+	"My %s code for %s has a bug, help me debug it.",
+	"Implement %s in %s and explain the algorithm.",
+	"How do I program %s using the standard %s api?",
+	"Refactor this %s script that builds %s to be faster.",
+	"Write unit tests in %s for %s.",
+}
+
+var qaTopics = []string{
+	"the capital of australia", "how vaccines work", "why the sky is blue",
+	"what causes inflation", "how tides form", "why leaves change color",
+	"what the fastest land animal is", "how long the great wall is",
+	"when the printing press was invented", "what dark matter is",
+	"why ice floats on water", "how gps finds your position", "what causes lightning",
+	"why cats purr", "how soap cleans", "what a leap year is for",
+	"how bees make honey", "why onions make you cry", "what causes deja vu",
+	"how noise cancelling headphones work",
+}
+
+var qaTemplates = []string{
+	"What is %s?",
+	"Can you answer this question: why does %s matter?",
+	"How does %s work, and when does it not?",
+	"Quick question: what should I know about %s?",
+	"Why is %s the way it is?",
+}
+
+var writingTopics = []string{
+	"a farewell email to my team", "a poem about autumn rain",
+	"a short story about a lighthouse keeper", "a blog article on remote work",
+	"a cover letter for a data analyst role", "a wedding toast",
+	"a product launch announcement", "an essay on urban gardens",
+	"a haiku about the first snow", "an apology email to a customer",
+	"a eulogy for a beloved teacher", "a newsletter intro for a book club",
+	"a speech for a retirement party", "a fundraising letter for an animal shelter",
+	"a limerick about mondays", "a museum placard for a meteorite",
+}
+
+var writingTemplates = []string{
+	"Write %s.",
+	"Help me draft %s.",
+	"Write %s, keeping a formal tone.",
+	"Compose %s for me.",
+	"I need to write %s, give me a draft.",
+}
+
+var mathTopics = []string{
+	"the integral of x squared from 0 to 3", "the probability of two heads in three flips",
+	"the sum of the first 100 odd numbers", "a 15 percent tip on a 64 dollar bill",
+	"the roots of x^2 - 5x + 6", "compound interest on 1000 at 5 percent for 3 years",
+	"the area of a circle with radius 7", "the expected value of a fair die",
+	"the greatest common divisor of 84 and 126", "the median of 3 9 4 7 5",
+	"the derivative of sin x times x", "how many handshakes among 12 people",
+	"the volume of a cone with radius 2 and height 9", "the 12th fibonacci number",
+	"the break even point at 40 dollar units and 2400 fixed cost", "two trains closing at 30 and 45 mph from 150 miles",
+}
+
+var mathTemplates = []string{
+	"Calculate %s.",
+	"Solve %s and show the math.",
+	"What is %s? Solve it.",
+	"Help me calculate %s step by step.",
+	"Solve this equation problem: find %s.",
+}
+
+var reasonTopics = []string{
+	"three boxes with mislabeled fruit", "two doors with one lying guard",
+	"crossing a river with a wolf a goat and a cabbage",
+	"four people crossing a bridge with one torch",
+	"the island where everyone lies on tuesdays",
+}
+
+var reasonTemplates = []string{
+	"Here is a logic puzzle: %s. Deduce the answer.",
+	"Solve this riddle about %s.",
+	"If you face %s, then what do you do? Use logic.",
+	"A puzzle: %s. What follows?",
+}
+
+var translationTopics = []string{
+	"good morning, how are you", "where is the train station",
+	"I would like two coffees please", "the meeting is postponed to friday",
+	"thank you for your hospitality", "my luggage is lost",
+}
+
+var translationLangs = []string{"french", "spanish", "chinese", "german"}
+
+var translationTemplates = []string{
+	"Translate '%s' into %s.",
+	"How do you say '%s' in %s? Give a natural translation.",
+	"Provide a %s translation of '%s'.",
+}
+
+var summarizationTopics = []string{
+	"a 20-page quarterly earnings report", "this long article about coral reefs",
+	"the meeting transcript from monday", "a research paper on sleep cycles",
+	"my 3000-word travel journal", "the terms of service of a streaming app",
+}
+
+var summarizationTemplates = []string{
+	"Summarize %s into key points.",
+	"Give me a tldr summary of %s.",
+	"Condense %s into a short summary.",
+	"Shorten %s to its key ideas.",
+}
+
+var roleplayTopics = []string{
+	"a medieval blacksmith", "a ship's ai with a dry sense of humor",
+	"a 1920s detective", "an enthusiastic museum guide",
+	"a stern but fair chess coach", "a friendly alien ambassador",
+}
+
+var roleplayTemplates = []string{
+	"Pretend you are %s and greet me in character.",
+	"Roleplay as %s; imagine we just met.",
+	"Act as %s. You are showing me around.",
+	"You are %s — stay in persona while we chat.",
+}
+
+var brainstormTopics = []string{
+	"names for a coffee shop near a library", "birthday gifts for a chemist",
+	"icebreakers for a remote team", "side project ideas using open data",
+	"themes for a school science fair", "ways to reuse glass jars",
+	"fundraisers for a youth orchestra", "podcast topics about city history",
+	"low budget team offsite activities", "names for a rescue greyhound",
+	"ways to celebrate a remote colleague's promotion", "board game nights with a twist",
+}
+
+var brainstormTemplates = []string{
+	"Brainstorm a list of ideas for %s.",
+	"Suggest creative options for %s.",
+	"Give me ideas: %s. List many.",
+	"I need a creative list of %s.",
+}
+
+var knowledgeTopics = []string{
+	"how photosynthesis works", "the history of the silk road",
+	"how blood pressure regulation works", "the mechanism of memory formation",
+	"how semiconductors are made", "the physiology of high-altitude adaptation",
+	"how glaciers shape valleys", "the science of fermentation",
+	"how the immune system distinguishes self from non-self", "the history of the printing press",
+	"how black holes form", "the mechanism of antibiotic resistance",
+	"how coral reefs build themselves", "the economics of trade routes",
+	"how batteries store energy", "the physiology of hibernation",
+}
+
+var knowledgeTemplates = []string{
+	"Explain %s.",
+	"Describe %s and the mechanism behind it.",
+	"Explain the science of %s.",
+	"Can you explain %s and how it works?",
+	"Describe the history and mechanism of %s.",
+}
+
+var adviceTopics = []string{
+	"preparing for a system design interview", "starting to run at 40",
+	"reducing screen time before bed", "negotiating a salary offer",
+	"learning a language in six months", "keeping houseplants alive",
+	"planning a week in portugal on a budget",
+	"moving cities with two cats", "getting better at small talk",
+	"building an emergency fund on a tight budget", "training for a first triathlon",
+	"picking a laptop for photo editing", "staying focused while studying at home",
+	"hosting a dinner party in a small apartment",
+}
+
+var adviceTemplates = []string{
+	"What is the best way of %s? Any tips?",
+	"Give me advice on %s.",
+	"Should I change how I approach %s? Recommend steps.",
+	"Help me improve at %s with practical tips.",
+}
+
+var analysisTopics = []string{
+	"remote work versus office work", "electric cars versus hybrids",
+	"renting versus buying a home", "sql versus nosql for a startup",
+	"monolith versus microservices", "paper books versus e-readers",
+	"solar versus wind power for a farm", "native apps versus web apps",
+	"buying versus leasing a delivery van", "annual versus quarterly planning",
+	"open plan versus private offices", "subscriptions versus one time pricing",
+}
+
+var analysisTemplates = []string{
+	"Analyze the trade offs of %s.",
+	"Compare %s and evaluate the pros and cons.",
+	"Assess %s; which wins and under what judgment criteria?",
+	"Evaluate %s for a small team.",
+}
+
+var extractionTopics = []string{
+	"the dates and amounts from this invoice", "all person entities in this paragraph",
+	"the fields of this log line into json", "email addresses from this text dump",
+	"the table of results from this report", "action items from these notes",
+}
+
+var extractionTemplates = []string{
+	"Extract %s.",
+	"Parse %s and identify each item.",
+	"Find and extract %s as a table.",
+	"Identify %s and return json.",
+}
+
+var chitchatTemplates = []string{
+	"Hello! How is your morning going?",
+	"Hi there, anything fun to chat about?",
+	"Good morning! Any plans for the weekend?",
+	"Thanks for the help earlier, you are great to chat with.",
+	"Hey, how are you feeling today?",
+}
+
+// renderTemplate draws a category-appropriate prompt.
+func renderTemplate(cat facet.Category, rng *rand.Rand) string {
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+	switch cat {
+	case facet.Coding:
+		t := pick(codingTemplates)
+		if strings.Count(t, "%s") == 2 {
+			return sprintf2(t, pick(codingLangs), pick(codingTopics))
+		}
+		return sprintf1(t, pick(codingTopics))
+	case facet.QA:
+		return sprintf1(pick(qaTemplates), pick(qaTopics))
+	case facet.Writing:
+		return sprintf1(pick(writingTemplates), pick(writingTopics))
+	case facet.Math:
+		return sprintf1(pick(mathTemplates), pick(mathTopics))
+	case facet.Reason:
+		return sprintf1(pick(reasonTemplates), pick(reasonTopics))
+	case facet.Translation:
+		t := pick(translationTemplates)
+		if strings.HasPrefix(t, "Provide") {
+			return sprintf2(t, pick(translationLangs), pick(translationTopics))
+		}
+		return sprintf2(t, pick(translationTopics), pick(translationLangs))
+	case facet.Summarization:
+		return sprintf1(pick(summarizationTemplates), pick(summarizationTopics))
+	case facet.Roleplay:
+		return sprintf1(pick(roleplayTemplates), pick(roleplayTopics))
+	case facet.Brainstorm:
+		return sprintf1(pick(brainstormTemplates), pick(brainstormTopics))
+	case facet.Knowledge:
+		return sprintf1(pick(knowledgeTemplates), pick(knowledgeTopics))
+	case facet.Advice:
+		return sprintf1(pick(adviceTemplates), pick(adviceTopics))
+	case facet.Analytical:
+		return sprintf1(pick(analysisTemplates), pick(analysisTopics))
+	case facet.Extraction:
+		return sprintf1(pick(extractionTemplates), pick(extractionTopics))
+	default:
+		return pick(chitchatTemplates)
+	}
+}
+
+// renderTrapPrompt phrases a logic-trap question around the trap cue so
+// facet.FindTrap recovers it.
+func renderTrapPrompt(tr facet.Trap, rng *rand.Rand) string {
+	frames := []string{
+		"Here is a riddle: %s — what is the answer?",
+		"A quick trick puzzle for you: %s. What do you say?",
+		"Think about this one: %s. Explain your answer.",
+	}
+	// The bird trap has canonical phrasing from the paper's Figure 1.
+	if tr.Name == "shot-birds" {
+		variants := []string{
+			"If there are 10 birds on a tree and one is shot dead, how many birds are on the ground?",
+			"There are 10 birds on a tree and one is shot — how many birds are on the ground now?",
+		}
+		return variants[rng.Intn(len(variants))]
+	}
+	return sprintf1(frames[rng.Intn(len(frames))], tr.Cue)
+}
+
+func sprintf1(t, a string) string { return strings.Replace(t, "%s", a, 1) }
+
+func sprintf2(t, a, b string) string {
+	return strings.Replace(strings.Replace(t, "%s", a, 1), "%s", b, 1)
+}

@@ -1,0 +1,156 @@
+// Package curation implements the §3.1 prompt-selection pipeline: embed
+// the raw pool, group near-duplicates with HNSW and keep one
+// representative per group, score quality with an LLM and drop low-quality
+// entries, and classify the survivors into the 14 categories.
+package curation
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/embed"
+	"repro/internal/facet"
+	"repro/internal/simllm"
+)
+
+// Curated is one prompt that survived selection.
+type Curated struct {
+	// Prompt is the original pool entry.
+	Prompt corpus.Prompt
+	// Category is the classifier's label.
+	Category facet.Category
+	// Score is the quality scorer's 0-10 rating.
+	Score float64
+}
+
+// Stats summarises what each stage did.
+type Stats struct {
+	Input        int // raw pool size
+	Groups       int // dedup groups found
+	AfterDedup   int // representatives kept
+	AfterFilter  int // survivors of the quality filter
+	MeanScore    float64
+	DroppedJunk  int // known-junk prompts removed by the filter
+	LeakedJunk   int // known-junk prompts that survived (filter noise)
+	DupCollapsed int // duplicate entries removed by dedup
+}
+
+// Config controls the pipeline.
+type Config struct {
+	// Embed configures the sentence encoder.
+	Embed embed.Config
+	// Dedup configures near-duplicate grouping.
+	Dedup cluster.DedupConfig
+	// QualityThreshold is the minimum scorer rating to keep. The paper
+	// filters "low-quality entries"; 5.0 keeps most real prompts and
+	// drops junk.
+	QualityThreshold float64
+	// ScorerModel names the quality-scoring LLM (§3.1 uses BaiChuan 13B).
+	ScorerModel string
+}
+
+// DefaultConfig returns the pipeline settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Embed:            embed.DefaultConfig(),
+		Dedup:            cluster.DefaultDedupConfig(),
+		QualityThreshold: 5.0,
+		ScorerModel:      simllm.Baichuan13B,
+	}
+}
+
+// Result is the pipeline output.
+type Result struct {
+	Selected []Curated
+	Stats    Stats
+}
+
+// Run executes the three-stage pipeline over the pool.
+func Run(pool []corpus.Prompt, clf *classify.Classifier, cfg Config) (*Result, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("curation: empty pool")
+	}
+	if clf == nil {
+		return nil, fmt.Errorf("curation: nil classifier")
+	}
+	if cfg.QualityThreshold < 0 || cfg.QualityThreshold > 10 {
+		return nil, fmt.Errorf("curation: quality threshold must be in [0,10], got %v", cfg.QualityThreshold)
+	}
+	scorer, err := simllm.LookupProfile(cfg.ScorerModel)
+	if err != nil {
+		return nil, fmt.Errorf("curation: scorer: %w", err)
+	}
+	scorerModel, err := simllm.New(scorer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: embed and deduplicate.
+	enc, err := embed.New(cfg.Embed)
+	if err != nil {
+		return nil, err
+	}
+	texts := make([]string, len(pool))
+	for i, p := range pool {
+		texts[i] = p.Text
+	}
+	if err := enc.Fit(texts); err != nil {
+		return nil, err
+	}
+	vecs := enc.EncodeBatch(texts)
+	groups, err := cluster.NearDuplicates(vecs, cfg.Dedup)
+	if err != nil {
+		return nil, fmt.Errorf("curation: dedup: %w", err)
+	}
+
+	var st Stats
+	st.Input = len(pool)
+	st.Groups = len(groups)
+	reps := make([]corpus.Prompt, 0, len(groups))
+	for _, g := range groups {
+		reps = append(reps, pool[g.Representative])
+		st.DupCollapsed += len(g.Members) - 1
+	}
+	st.AfterDedup = len(reps)
+
+	// Stage 2: quality filter.
+	var kept []corpus.Prompt
+	var scores []float64
+	var scoreSum float64
+	for _, p := range reps {
+		s := scorerModel.ScorePromptQuality(p.Text)
+		if s >= cfg.QualityThreshold {
+			kept = append(kept, p)
+			scores = append(scores, s)
+			scoreSum += s
+			if p.Truth.Junk {
+				st.LeakedJunk++
+			}
+		} else if p.Truth.Junk {
+			st.DroppedJunk++
+		}
+	}
+	st.AfterFilter = len(kept)
+	if len(kept) > 0 {
+		st.MeanScore = scoreSum / float64(len(kept))
+	}
+
+	// Stage 3: classification.
+	out := make([]Curated, 0, len(kept))
+	for i, p := range kept {
+		cat, _ := clf.Predict(p.Text)
+		out = append(out, Curated{Prompt: p, Category: cat, Score: scores[i]})
+	}
+	return &Result{Selected: out, Stats: st}, nil
+}
+
+// CategoryCounts tallies the curated prompts per category.
+func (r *Result) CategoryCounts() map[facet.Category]int {
+	out := make(map[facet.Category]int)
+	for _, c := range r.Selected {
+		out[c.Category]++
+	}
+	return out
+}

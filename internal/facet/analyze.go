@@ -1,0 +1,155 @@
+package facet
+
+import (
+	"strings"
+
+	"repro/internal/textkit"
+)
+
+// Analysis is the text-derived understanding of a user prompt: what a
+// good answer needs, which facets the user has explicitly constrained,
+// which category the prompt most resembles, and whether it hides a trap.
+type Analysis struct {
+	// Needs weighs how much each facet matters for answering well. It is
+	// the category prior sharpened by explicit cues found in the text.
+	Needs Weights
+	// Constraints marks facets the user explicitly demanded (a directive
+	// conflicting with a constrained facet is a defect).
+	Constraints Set
+	// Category is the best heuristic category guess.
+	Category Category
+	// CategoryScore is the cue-hit score of the guess (0 when no cue hit).
+	CategoryScore int
+	// Trap is the detected logic trap, if Trapped.
+	Trap    Trap
+	Trapped bool
+	// Complexity grows with prompt length and number of active needs;
+	// the critic treats heavy augmentation of simple prompts as a defect.
+	Complexity float64
+}
+
+// AnalyzePrompt derives an Analysis from the prompt text alone. It is the
+// shared "reading comprehension" routine of every simulated model.
+func AnalyzePrompt(text string) Analysis {
+	var a Analysis
+	a.Category, a.CategoryScore = guessCategory(text)
+	a.Needs = NeedPrior(a.Category)
+
+	// Sharpen needs with explicit cues; explicit cues also register as
+	// constraints when they bound the answer (conciseness, style,
+	// structure are binding; the rest just raise need weight).
+	for f := 0; f < Count; f++ {
+		hits := textkit.CountLexiconHits(text, needCueLex[Facet(f)])
+		if hits == 0 {
+			continue
+		}
+		a.Needs[f] += 0.5 * float64(hits)
+		if a.Needs[f] > 2 {
+			a.Needs[f] = 2
+		}
+		switch Facet(f) {
+		case Conciseness, Style, Structure:
+			a.Constraints = a.Constraints.With(Facet(f))
+		}
+	}
+
+	if tr, ok := FindTrap(text); ok {
+		a.Trap, a.Trapped = tr, true
+		a.Needs[TrapAware] += 1.5
+		a.Needs[Reasoning] += 0.5
+	}
+
+	words := float64(textkit.WordCount(text))
+	active := 0
+	for _, w := range a.Needs {
+		if w > 0.3 {
+			active++
+		}
+	}
+	a.Complexity = words/40 + float64(active)/4
+	if a.Complexity > 3 {
+		a.Complexity = 3
+	}
+	return a
+}
+
+func guessCategory(text string) (Category, int) {
+	best, bestScore := QA, 0
+	for _, c := range Categories() {
+		score := textkit.CountLexiconHits(text, categoryCues[c])
+		// Coding/knowledge cues are rarer and more diagnostic than the
+		// ubiquitous QA interrogatives; weight them up.
+		if c != QA && c != Chitchat {
+			score *= 2
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best, bestScore
+}
+
+// DetectDirectives reads a complementary prompt and returns the facets it
+// demands, by matching the directive lexicon. This is how the simulated
+// downstream LLM "obeys" an augmentation: only phrases present in the
+// shared lexicon steer it.
+func DetectDirectives(aug string) Set {
+	var s Set
+	for f := 0; f < Count; f++ {
+		if countPhraseHits(aug, directiveLex[Facet(f)]) > 0 {
+			s = s.With(Facet(f))
+		}
+	}
+	return s
+}
+
+// DetectDelivered reads a response and scores how strongly it delivers
+// each facet, from the delivery lexicon.
+func DetectDelivered(response string) Weights {
+	var w Weights
+	for f := 0; f < Count; f++ {
+		hits := countPhraseHits(response, deliveryLex[Facet(f)])
+		w[f] = float64(hits)
+		if w[f] > 3 {
+			w[f] = 3
+		}
+	}
+	return w
+}
+
+// DetectAnswerLeak reports whether an augmentation text directly answers
+// the question instead of supplementing it.
+func DetectAnswerLeak(aug string) bool {
+	return countPhraseHits(aug, answerLeakCues) > 0
+}
+
+// ConflictingDirectives returns the demanded facets that conflict with
+// the prompt's explicit constraints.
+func ConflictingDirectives(a Analysis, directives Set) []Facet {
+	var out []Facet
+	for _, f := range directives.Facets() {
+		for _, g := range a.Constraints.Facets() {
+			if f != g && ConflictsWith(f, g) {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// countPhraseHits counts lexicon phrases occurring in text. Unlike
+// textkit.CountLexiconHits it matches substrings on the normalised text,
+// because directive/delivery phrases include punctuation and markdown.
+func countPhraseHits(text string, phrases []string) int {
+	folded := strings.ToLower(text)
+	hits := 0
+	for _, p := range phrases {
+		if p == "" {
+			continue
+		}
+		if strings.Contains(folded, strings.ToLower(p)) {
+			hits++
+		}
+	}
+	return hits
+}

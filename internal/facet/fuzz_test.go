@@ -1,0 +1,36 @@
+package facet
+
+import "testing"
+
+// FuzzAnalyzePrompt: the shared reading-comprehension routine must be
+// total over arbitrary input — no panics, bounded outputs.
+func FuzzAnalyzePrompt(f *testing.F) {
+	for _, seed := range []string{
+		"", "Explain how tides form.",
+		"If there are 10 birds on a tree and one is shot dead, how many birds are on the ground?",
+		"Briefly, summarize this. Use an organized format with a list.",
+		"\x00\xff", "ALL CAPS ????", "a b c d e f g h i j k l m n o p",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a := AnalyzePrompt(s)
+		if !a.Category.Valid() {
+			t.Fatalf("invalid category %d", int(a.Category))
+		}
+		if a.Complexity < 0 || a.Complexity > 3 {
+			t.Fatalf("complexity out of range: %v", a.Complexity)
+		}
+		for f2, w := range a.Needs {
+			if w < 0 || w > 3 {
+				t.Fatalf("need %d out of range: %v", f2, w)
+			}
+		}
+		if a.Trapped && a.Trap.Name == "" {
+			t.Fatal("trapped without trap")
+		}
+		_ = DetectDirectives(s)
+		_ = DetectDelivered(s)
+		_ = DetectAnswerLeak(s)
+	})
+}

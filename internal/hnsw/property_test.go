@@ -1,0 +1,72 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+)
+
+// TestSearchResultsAreValidProperty checks structural invariants of
+// Search over randomly built indexes: results reference stored ids, are
+// unique, sorted by distance, and never exceed k.
+func TestSearchResultsAreValidProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%120 + 2
+		k := int(kRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		ix := MustNew(DefaultConfig())
+		stored := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if err := ix.Add(i, randVec(rng, 16)); err != nil {
+				return false
+			}
+			stored[i] = true
+		}
+		res := ix.Search(randVec(rng, 16), k)
+		if len(res) > k {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, r := range res {
+			if !stored[r.ID] || seen[r.ID] {
+				return false
+			}
+			seen[r.ID] = true
+			if i > 0 && res[i].Distance < res[i-1].Distance {
+				return false
+			}
+			if r.Distance < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfNearestProperty: a stored vector's own nearest neighbour is
+// itself (distance ~0) for cosine on unit vectors.
+func TestSelfNearestProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		rng := rand.New(rand.NewSource(seed))
+		ix := MustNew(DefaultConfig())
+		vecs := make([]embed.Vector, n)
+		for i := 0; i < n; i++ {
+			vecs[i] = randVec(rng, 12)
+			if err := ix.Add(i, vecs[i]); err != nil {
+				return false
+			}
+		}
+		probe := rng.Intn(n)
+		res := ix.Search(vecs[probe], 1)
+		return len(res) == 1 && res[0].Distance < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package httpmw provides the HTTP middleware the PAS services
+// (cmd/passerve, cmd/pasllm) run behind: panic recovery, request ids,
+// structured access logging, a concurrency limiter, and in-process
+// request metrics with a /metricsz endpoint. It is the small operational
+// layer that turns a handler into a service.
+package httpmw
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chain applies middlewares right-to-left: the first listed is outermost.
+func Chain(h http.Handler, mws ...func(http.Handler) http.Handler) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// Recover converts handler panics into 500 responses instead of torn
+// connections, logging the panic value.
+func Recover(logger *log.Logger) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+					}
+					http.Error(w, `{"error":"internal server error"}`, http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// requestIDHeader carries the per-request id.
+const requestIDHeader = "X-Request-Id"
+
+// RequestID assigns a monotonically increasing request id when the
+// client did not send one, and echoes it on the response.
+func RequestID() func(http.Handler) http.Handler {
+	var counter uint64
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(requestIDHeader)
+			if id == "" {
+				id = fmt.Sprintf("req-%08d", atomic.AddUint64(&counter, 1))
+				r.Header.Set(requestIDHeader, id)
+			}
+			w.Header().Set(requestIDHeader, id)
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += n
+	return n, err
+}
+
+// Flush forwards flushing so SSE streaming keeps working through the
+// middleware stack.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Logging writes one access-log line per request.
+func Logging(logger *log.Logger) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			rec := &statusRecorder{ResponseWriter: w}
+			next.ServeHTTP(rec, r)
+			if logger != nil {
+				logger.Printf("%s %s %s -> %d %dB in %s",
+					r.Header.Get(requestIDHeader), r.Method, r.URL.Path,
+					rec.statusOr200(), rec.bytes, time.Since(start).Round(time.Microsecond))
+			}
+		})
+	}
+}
+
+func (sr *statusRecorder) statusOr200() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
+// ConcurrencyLimit rejects requests beyond n in flight with 503, the
+// standard backpressure for a model-serving endpoint.
+func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
+	if n < 1 {
+		n = 1
+	}
+	sem := make(chan struct{}, n)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				http.Error(w, `{"error":"server overloaded"}`, http.StatusServiceUnavailable)
+			}
+		})
+	}
+}
+
+// Metrics counts requests, errors, and latency by path.
+type Metrics struct {
+	mu    sync.Mutex
+	paths map[string]*pathStats
+}
+
+type pathStats struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"` // status >= 400
+	Total    time.Duration `json:"-"`
+	MeanMs   float64       `json:"mean_ms"`
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{paths: make(map[string]*pathStats)}
+}
+
+// Middleware records every request into the registry.
+func (m *Metrics) Middleware() func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			rec := &statusRecorder{ResponseWriter: w}
+			next.ServeHTTP(rec, r)
+			m.observe(r.URL.Path, rec.statusOr200(), time.Since(start))
+		})
+	}
+}
+
+func (m *Metrics) observe(path string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := m.paths[path]
+	if ps == nil {
+		ps = &pathStats{}
+		m.paths[path] = ps
+	}
+	ps.Requests++
+	if status >= 400 {
+		ps.Errors++
+	}
+	ps.Total += d
+	ps.MeanMs = float64(ps.Total.Milliseconds()) / float64(ps.Requests)
+}
+
+// Snapshot returns a copy of the per-path stats.
+func (m *Metrics) Snapshot() map[string]pathStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]pathStats, len(m.paths))
+	for p, s := range m.paths {
+		out[p] = *s
+	}
+	return out
+}
+
+// Handler serves the metrics snapshot as JSON (mount at /metricsz).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(m.Snapshot()); err != nil {
+			log.Printf("httpmw: writing metrics: %v", err)
+		}
+	})
+}

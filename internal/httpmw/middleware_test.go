@@ -1,0 +1,187 @@
+package httpmw
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mw := func(name string) func(http.Handler) http.Handler {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(okHandler(), mw("outer"), mw("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(logger))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Fatal("panic not logged")
+	}
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	h := Chain(okHandler(), RequestID())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	id := rec.Header().Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no request id assigned")
+	}
+	// Client-supplied ids are preserved.
+	rec2 := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-Request-Id", "client-id-7")
+	h.ServeHTTP(rec2, req)
+	if got := rec2.Header().Get("X-Request-Id"); got != "client-id-7" {
+		t.Fatalf("client id not preserved: %q", got)
+	}
+	// Distinct requests get distinct ids.
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, httptest.NewRequest("GET", "/", nil))
+	if rec3.Header().Get("X-Request-Id") == id {
+		t.Fatal("request ids not unique")
+	}
+}
+
+func TestLoggingWritesAccessLine(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Chain(okHandler(), RequestID(), Logging(logger))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/augment", nil))
+	line := buf.String()
+	if !strings.Contains(line, "GET /v1/augment") || !strings.Contains(line, "200") {
+		t.Fatalf("access line = %q", line)
+	}
+}
+
+func TestConcurrencyLimitSheds(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	h := Chain(slow, ConcurrencyLimit(1))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := srv.Client().Get(srv.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started // first request is in flight
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request status = %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestMetricsCountsAndErrors(t *testing.T) {
+	m := NewMetrics()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/bad" {
+			http.Error(w, "no", http.StatusBadRequest)
+			return
+		}
+		time.Sleep(time.Millisecond)
+		fmt.Fprint(w, "ok")
+	}), m.Middleware())
+
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/good", nil))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/bad", nil))
+
+	snap := m.Snapshot()
+	good, bad := snap["/good"], snap["/bad"]
+	if good.Requests != 3 || good.Errors != 0 {
+		t.Fatalf("good stats = %+v", good)
+	}
+	if bad.Requests != 1 || bad.Errors != 1 {
+		t.Fatalf("bad stats = %+v", bad)
+	}
+	if good.MeanMs < 0 {
+		t.Fatalf("mean = %v", good.MeanMs)
+	}
+}
+
+func TestMetricsHandlerServesJSON(t *testing.T) {
+	m := NewMetrics()
+	h := Chain(okHandler(), m.Middleware())
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/a", nil))
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"/a"`) {
+		t.Fatalf("metrics body = %s", rec.Body.String())
+	}
+}
+
+func TestStatusRecorderFlushPassthrough(t *testing.T) {
+	// SSE streaming must survive the middleware stack: the recorder must
+	// implement Flush.
+	var flushed bool
+	inner := httptest.NewRecorder() // implements Flusher
+	sr := &statusRecorder{ResponseWriter: flushRecorder{inner, &flushed}}
+	sr.Flush()
+	if !flushed {
+		t.Fatal("flush not forwarded")
+	}
+}
+
+type flushRecorder struct {
+	http.ResponseWriter
+	flushed *bool
+}
+
+func (f flushRecorder) Flush() { *f.flushed = true }

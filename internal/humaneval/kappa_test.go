@@ -1,0 +1,100 @@
+package humaneval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+func TestFleissKappaValidation(t *testing.T) {
+	if _, err := FleissKappa(nil); err == nil {
+		t.Error("no items should fail")
+	}
+	if _, err := FleissKappa([][]int{{3}}); err == nil {
+		t.Error("single rater should fail")
+	}
+	if _, err := FleissKappa([][]int{{3, 4}, {3}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := FleissKappa([][]int{{0, 4}}); err == nil {
+		t.Error("rating 0 should fail")
+	}
+	if _, err := FleissKappa([][]int{{6, 4}}); err == nil {
+		t.Error("rating 6 should fail")
+	}
+}
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	ratings := [][]int{{4, 4, 4}, {2, 2, 2}, {5, 5, 5}, {3, 3, 3}}
+	k, err := FleissKappa(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 0.999 {
+		t.Fatalf("perfect agreement kappa = %v, want ~1", k)
+	}
+}
+
+func TestFleissKappaSingleCategoryConvention(t *testing.T) {
+	k, err := FleissKappa([][]int{{3, 3}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("degenerate single-category kappa = %v, want 1", k)
+	}
+}
+
+func TestFleissKappaDisagreementIsLow(t *testing.T) {
+	// Raters systematically disagree across categories.
+	ratings := [][]int{
+		{1, 3, 5}, {2, 4, 1}, {5, 2, 3}, {4, 1, 2}, {3, 5, 4},
+		{1, 4, 2}, {5, 3, 1}, {2, 5, 4}, {4, 2, 5}, {3, 1, 4},
+	}
+	k, err := FleissKappa(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 0.2 {
+		t.Fatalf("disagreement kappa = %v, want near or below 0", k)
+	}
+}
+
+// TestPoolKappaAboveChance validates the simulated rater pool: despite
+// personal bias and noise, raters share the quality signal, so their
+// agreement must sit clearly above chance (and below perfect).
+func TestPoolKappaAboveChance(t *testing.T) {
+	pool, err := NewPool(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simllm.MustModel(simllm.GPT40613)
+	prompts := []string{
+		"Explain the mechanism of antibiotic resistance.",
+		"Give me advice on keeping houseplants alive.",
+		"Analyze the trade offs of sql versus nosql for a startup.",
+		"Summarize this long article about coral reefs into key points.",
+	}
+	var ratings [][]int
+	for i, p := range prompts {
+		for k := 0; k < 10; k++ {
+			resp := m.Respond(p, simllm.Options{Salt: fmt.Sprintf("k/%d/%d", i, k)})
+			row := make([]int, len(pool))
+			for j, r := range pool {
+				row[j] = r.Rate(p, resp)
+			}
+			ratings = append(ratings, row)
+		}
+	}
+	kappa, err := FleissKappa(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa < 0.05 {
+		t.Fatalf("pool kappa = %.3f — raters look like pure noise", kappa)
+	}
+	if kappa > 0.95 {
+		t.Fatalf("pool kappa = %.3f — raters have no individuality", kappa)
+	}
+}

@@ -1,0 +1,211 @@
+package judge
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/facet"
+	"repro/internal/simllm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{LengthBias: -0.1, Noise: 0.5}); err == nil {
+		t.Error("negative bias should fail")
+	}
+	if _, err := New(Config{LengthBias: 0.2, Noise: 9}); err == nil {
+		t.Error("huge noise should fail")
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScorePrefersNeedCoverage(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "Explain how photosynthesis works and the mechanism behind it."
+	good := "By way of background, photosynthesis converts light. Covering all aspects of photosynthesis, including edge conditions. It is established that the mechanism is verified."
+	bad := "Photosynthesis is a thing plants do."
+	if j.Score(prompt, good) <= j.Score(prompt, bad) {
+		t.Fatalf("coverage not rewarded: good=%.2f bad=%.2f", j.Score(prompt, good), j.Score(prompt, bad))
+	}
+}
+
+func TestScorePenalisesTrapFailure(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "If there are 10 birds on a tree and one is shot dead, how many birds are on the ground?"
+	tr, _ := facet.FindTrap(prompt)
+	right := "Note the wording: " + tr.RightClaim + "."
+	wrong := "The answer: " + tr.WrongClaim + "."
+	if j.Score(prompt, right) <= j.Score(prompt, wrong) {
+		t.Fatal("trap correctness not rewarded")
+	}
+}
+
+func TestScorePenalisesConstraintViolation(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "Briefly summarize this long article about coral reefs."
+	short := "In short: coral reefs summary, distilled. briefly the key points."
+	long := "In summary, first, " + strings.Repeat("the coral reefs article says many things about article coral reefs summarize. ", 30)
+	if j.Score(prompt, short) <= j.Score(prompt, long) {
+		t.Fatalf("violation not penalised: short=%.2f long=%.2f", j.Score(prompt, short), j.Score(prompt, long))
+	}
+}
+
+func TestScoreRewardsRelevance(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "Analyze the trade offs of monolith versus microservices."
+	onTopic := "Covering all aspects, the monolith versus microservices trade offs are examined. first, second, finally."
+	offTopic := "Covering all aspects, gardening thrives with sunlight. first, second, finally."
+	if j.Score(prompt, onTopic) <= j.Score(prompt, offTopic) {
+		t.Fatal("relevance not rewarded")
+	}
+}
+
+func TestLengthBiasExistsAndIsRemovable(t *testing.T) {
+	biased := MustNew(DefaultConfig())
+	unbiased := MustNew(Config{LengthBias: 0, Noise: 0.6, Seed: 1})
+	prompt := "Give me advice on keeping houseplants alive."
+	short := "Specifically, water houseplants weekly. In particular, light matters."
+	long := short + " " + strings.Repeat("This consideration of houseplants merits attention. ", 40)
+
+	dBiased := biased.Score(prompt, long) - biased.Score(prompt, short)
+	dUnbiased := unbiased.Score(prompt, long) - unbiased.Score(prompt, short)
+	if dBiased <= dUnbiased {
+		t.Fatalf("length bias missing: biased gap %.3f <= unbiased gap %.3f", dBiased, dUnbiased)
+	}
+}
+
+func TestCompareDeterministicAndNoisy(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "Explain the science of fermentation."
+	a := "By way of background, fermentation converts sugars. For example, consider the case of yogurt."
+	b := "Fermentation happens."
+	v1 := j.Compare(prompt, a, b, "s1")
+	v2 := j.Compare(prompt, a, b, "s1")
+	if v1 != v2 {
+		t.Fatal("same salt must give same verdict")
+	}
+	if !v1.AWins {
+		t.Fatal("clearly better response lost")
+	}
+	if v1.ProbA < 0.5 {
+		t.Fatalf("ProbA = %v for better response", v1.ProbA)
+	}
+}
+
+func TestCompareNoiseFlipsCloseCalls(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	prompt := "What is dark matter?"
+	a := "Specifically, dark matter is unseen mass."
+	b := "In particular, dark matter does not emit light."
+	winsA := 0
+	for i := 0; i < 60; i++ {
+		if j.Compare(prompt, a, b, fmt.Sprintf("n%d", i)).AWins {
+			winsA++
+		}
+	}
+	if winsA == 0 || winsA == 60 {
+		t.Fatalf("near-tie should split under noise: winsA=%d/60", winsA)
+	}
+}
+
+// TestEndToEndAugmentationWinsJudgement wires the full mechanism: a
+// response to an augmented prompt should beat the bare response in the
+// judge's eyes more often than not — the paper's core claim in miniature.
+func TestEndToEndAugmentationWinsJudgement(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	m := simllm.MustModel(simllm.GPT40613)
+	prompts := []string{
+		"Describe the history and mechanism of how blood pressure regulation works.",
+		"Give me advice on negotiating a salary offer.",
+		"Explain how photosynthesis works.",
+		"Analyze the trade offs of remote work versus office work.",
+	}
+	wins, total := 0, 0
+	for _, p := range prompts {
+		needs := facet.AnalyzePrompt(p).Needs.Top(2)
+		aug := facet.RenderDirectives(needs, "e2e")
+		for i := 0; i < 25; i++ {
+			salt := fmt.Sprintf("r%d", i)
+			bare := m.Respond(p, simllm.Options{Salt: salt})
+			augmented := m.Respond(p+"\n"+aug, simllm.Options{Salt: salt})
+			if j.Compare(p, augmented, bare, salt).ProbA > 0.5 {
+				wins++
+			}
+			total++
+		}
+	}
+	rate := float64(wins) / float64(total)
+	if rate < 0.55 {
+		t.Fatalf("augmented responses won only %.2f of judgements", rate)
+	}
+}
+
+func TestLengthGapSign(t *testing.T) {
+	if LengthGap("one two three four five six", "one") <= 0 {
+		t.Fatal("longer A should give positive gap")
+	}
+	if LengthGap("one", "one two three") >= 0 {
+		t.Fatal("shorter A should give negative gap")
+	}
+}
+
+func TestOverlapEdgeCases(t *testing.T) {
+	j := MustNew(DefaultConfig())
+	// Prompt with no content words should not crash or zero out.
+	s := j.Score("hi", "hello there")
+	if s < -10 || s > 10 {
+		t.Fatalf("degenerate score = %v", s)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	j := MustNew(DefaultConfig())
+	m := simllm.MustModel(simllm.GPT4Turbo)
+	prompt := "Explain the science of fermentation."
+	ra := m.Respond(prompt, simllm.Options{Salt: "a"})
+	rb := m.Respond(prompt, simllm.Options{Salt: "b"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Compare(prompt, ra, rb, "bench")
+	}
+}
+
+// TestPositionBiasAndSwapCancellation models the documented order effect
+// of LLM judges and verifies the harness countermeasure: judging both
+// orders cancels the bias exactly.
+func TestPositionBiasAndSwapCancellation(t *testing.T) {
+	biased := MustNew(Config{LengthBias: 0.2, PositionBias: 0.5, Noise: 0, Seed: 3})
+	prompt := "What is dark matter?"
+	a := "Specifically, dark matter is unseen mass."
+	b := "In particular, dark matter does not emit light."
+
+	v1 := biased.Compare(prompt, a, b, "s")
+	v2 := biased.Compare(prompt, b, a, "s")
+	// With near-tied responses and positive position bias, whoever is
+	// presented first wins.
+	if !v1.AWins || !v2.AWins {
+		t.Fatalf("position bias should favour the first slot: %v %v", v1.AWins, v2.AWins)
+	}
+	// Swap-averaged win rate is exactly 0.5 — the bias cancels.
+	winsA := 0
+	if v1.AWins {
+		winsA++
+	}
+	if !v2.AWins {
+		winsA++
+	}
+	if winsA != 1 {
+		t.Fatalf("swap-averaging should give 1 win of 2, got %d", winsA)
+	}
+}
+
+func TestPositionBiasValidation(t *testing.T) {
+	if _, err := New(Config{LengthBias: 0.2, PositionBias: -0.1, Noise: 0.5}); err == nil {
+		t.Error("negative position bias should fail")
+	}
+	if _, err := New(Config{LengthBias: 0.2, PositionBias: 2, Noise: 0.5}); err == nil {
+		t.Error("huge position bias should fail")
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEloValidation(t *testing.T) {
+	if _, err := NewElo(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewElo(-5); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestEloBaseRating(t *testing.T) {
+	e, err := NewElo(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rating("unknown") != 1000 {
+		t.Fatal("unseen player should have base rating")
+	}
+	if e.Expected("a", "b") != 0.5 {
+		t.Fatal("equal ratings should expect 0.5")
+	}
+}
+
+func TestEloConvergesToWinner(t *testing.T) {
+	e, err := NewElo(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a beats b 80% of 200 games.
+	for i := 0; i < 200; i++ {
+		if i%5 == 0 {
+			e.Record("b", "a")
+		} else {
+			e.Record("a", "b")
+		}
+	}
+	if e.Rating("a") <= e.Rating("b") {
+		t.Fatalf("a=%f b=%f", e.Rating("a"), e.Rating("b"))
+	}
+	exp := e.Expected("a", "b")
+	if exp < 0.6 || exp > 0.95 {
+		t.Fatalf("expected score = %v, want near 0.8", exp)
+	}
+	if e.Games("a") != 200 || e.Games("b") != 200 {
+		t.Fatalf("games = %d/%d", e.Games("a"), e.Games("b"))
+	}
+}
+
+func TestEloDrawMovesTowardEquality(t *testing.T) {
+	e, err := NewElo(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Record("a", "b")
+	}
+	gap := e.Rating("a") - e.Rating("b")
+	for i := 0; i < 20; i++ {
+		e.RecordDraw("a", "b")
+	}
+	if newGap := e.Rating("a") - e.Rating("b"); newGap >= gap {
+		t.Fatalf("draws should shrink the gap: %f -> %f", gap, newGap)
+	}
+}
+
+// TestEloConservationProperty: total rating is invariant (zero-sum
+// updates), regardless of game sequence.
+func TestEloConservationProperty(t *testing.T) {
+	f := func(results []bool) bool {
+		e, err := NewElo(32)
+		if err != nil {
+			return false
+		}
+		for _, aWins := range results {
+			if aWins {
+				e.Record("a", "b")
+			} else {
+				e.Record("b", "a")
+			}
+		}
+		total := e.Rating("a") + e.Rating("b")
+		return math.Abs(total-2000) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEloStandingsSorted(t *testing.T) {
+	e, err := NewElo(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Record("strong", "weak")
+	e.Record("strong", "mid")
+	e.Record("mid", "weak")
+	s := e.Standings()
+	if len(s) != 3 {
+		t.Fatalf("standings = %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Rating > s[i-1].Rating {
+			t.Fatalf("standings unsorted: %v", s)
+		}
+	}
+	if s[0].Name != "strong" {
+		t.Fatalf("winner not first: %v", s)
+	}
+}

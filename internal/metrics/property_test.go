@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWinRateComplementProperty: implied win rates from any fitted
+// Bradley-Terry model are complementary.
+func TestWinRateComplementProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 2
+		rng := rand.New(rand.NewSource(seed))
+		wins := make([][]float64, n)
+		for i := range wins {
+			wins[i] = make([]float64, n)
+			for j := range wins[i] {
+				if i != j {
+					wins[i][j] = float64(rng.Intn(20) + 1)
+				}
+			}
+		}
+		s, err := BradleyTerry(wins, 100)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(WinRate(s, i, j)+WinRate(s, j, i)-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBradleyTerryOrderingProperty: in a two-player model, more wins
+// means higher strength.
+func TestBradleyTerryOrderingProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%50) + 1
+		b := float64(bRaw%50) + 1
+		s, err := BradleyTerry([][]float64{{0, a}, {b, 0}}, 200)
+		if err != nil {
+			return false
+		}
+		switch {
+		case a > b:
+			return s[0] > s[1]
+		case b > a:
+			return s[1] > s[0]
+		default:
+			return math.Abs(s[0]-s[1]) < 1e-6
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileMonotoneProperty: quantiles are monotone in q and bounded
+// by the sample extremes.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := q
+			if qq > 1 {
+				qq = 1
+			}
+			v, err := Quantile(xs, qq)
+			if err != nil {
+				return false
+			}
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		lo, _ := Quantile(xs, 0)
+		hi, _ := Quantile(xs, 1)
+		return lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBootstrapCIBracketsProperty: the bootstrap interval always
+// brackets values within the sample range.
+func TestBootstrapCIBracketsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		ci, err := BootstrapMeanCI(xs, 200, 0.9, seed)
+		if err != nil {
+			return false
+		}
+		return ci.Lo >= lo-1e-9 && ci.Hi <= hi+1e-9 && ci.Lo <= ci.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

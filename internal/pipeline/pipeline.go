@@ -1,0 +1,146 @@
+// Package pipeline orchestrates the end-to-end PAS construction — corpus
+// synthesis, §3.1 curation, §3.2 pair generation, and SFT — for both the
+// public facade (package pas at the module root) and the experiment
+// harness (internal/evalbench), which additionally needs ablated builds.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/augment"
+	"repro/internal/classify"
+	"repro/internal/corpus"
+	"repro/internal/curation"
+	"repro/internal/dataset"
+	"repro/internal/sft"
+	"repro/internal/simllm"
+)
+
+// Config assembles the end-to-end build settings.
+type Config struct {
+	// CorpusSize is the raw synthetic pool size (stand-in for
+	// LMSYS-1M/WildChat sampling). Typical: 4000-30000.
+	CorpusSize int
+	// Seed drives corpus generation and classifier training data.
+	Seed int64
+	// BaseModel is the LLM fine-tuned into the PAS model M_p. The paper
+	// uses Qwen2-7B-Chat (Table 1) and LLaMA-2-7B-instruct (Table 2).
+	BaseModel string
+	// ClassifierExamples is the labelled-training-set size for the §3.1
+	// category classifier (the paper uses 60k internal labels).
+	ClassifierExamples int
+	// Curation configures the §3.1 selection pipeline.
+	Curation curation.Config
+	// Augment configures the §3.2 generation pipeline.
+	Augment augment.Config
+	// SFT configures fine-tuning.
+	SFT sft.Config
+}
+
+// DefaultConfig returns the build used by the experiments: a pool large
+// enough to curate ~9000 pairs on Qwen2-7B.
+func DefaultConfig() Config {
+	return Config{
+		CorpusSize:         26000,
+		Seed:               1,
+		BaseModel:          simllm.Qwen27B,
+		ClassifierExamples: 6000,
+		Curation:           curation.DefaultConfig(),
+		Augment:            augment.DefaultConfig(),
+		SFT:                sft.DefaultConfig(),
+	}
+}
+
+// Result carries the artefacts of a build.
+type Result struct {
+	// Model is the fine-tuned PAS model M_p.
+	Model *sft.Model
+	// Dataset is the generated (prompt, complementary prompt) dataset.
+	Dataset *dataset.Dataset
+	// Curated is the §3.1 output the pairs were generated from.
+	Curated []curation.Curated
+	// CurationStats reports the §3.1 pipeline.
+	CurationStats curation.Stats
+	// AugmentStats reports the §3.2 pipeline.
+	AugmentStats augment.Stats
+}
+
+// Build runs the complete PAS construction.
+func Build(cfg Config) (*Result, error) {
+	if cfg.CorpusSize <= 0 {
+		return nil, fmt.Errorf("pipeline: CorpusSize must be positive, got %d", cfg.CorpusSize)
+	}
+	if cfg.ClassifierExamples <= 0 {
+		return nil, fmt.Errorf("pipeline: ClassifierExamples must be positive, got %d", cfg.ClassifierExamples)
+	}
+	base, err := simllm.LookupProfile(cfg.BaseModel)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: base model: %w", err)
+	}
+	baseModel, err := simllm.New(base)
+	if err != nil {
+		return nil, err
+	}
+
+	poolCfg := corpus.DefaultConfig()
+	poolCfg.Size = cfg.CorpusSize
+	poolCfg.Seed = cfg.Seed
+	pool, err := corpus.Generate(poolCfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: corpus: %w", err)
+	}
+
+	examples, err := classify.TrainingSet(cfg.ClassifierExamples, cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: classifier data: %w", err)
+	}
+	clf, err := classify.Train(examples, classify.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: classifier: %w", err)
+	}
+
+	cur, err := curation.Run(pool, clf, cfg.Curation)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: curation: %w", err)
+	}
+
+	gen, err := augment.Run(cur.Selected, dataset.Golden(), cfg.Augment)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: augment: %w", err)
+	}
+
+	model, err := sft.Train(baseModel, gen.Data, cfg.SFT)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: sft: %w", err)
+	}
+
+	return &Result{
+		Model:         model,
+		Dataset:       gen.Data,
+		Curated:       cur.Selected,
+		CurationStats: cur.Stats,
+		AugmentStats:  gen.Stats,
+	}, nil
+}
+
+// Retrain fine-tunes a fresh copy of the base model on a different
+// dataset, reusing a prior build's curated prompts — the Table 5 ablation
+// trains on the same curation output with selection disabled.
+func Retrain(baseModel string, data *dataset.Dataset, cfg sft.Config) (*sft.Model, error) {
+	p, err := simllm.LookupProfile(baseModel)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: base model: %w", err)
+	}
+	m, err := simllm.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return sft.Train(m, data, cfg)
+}
+
+// AblateSelection regenerates the pair dataset from curated prompts with
+// the selection/regeneration stage disabled, for the Table 5 comparison.
+func AblateSelection(curated []curation.Curated, augCfg augment.Config) (*augment.Result, error) {
+	augCfg.Selection = false
+	return augment.Run(curated, dataset.Golden(), augCfg)
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/facet"
+	"repro/internal/simllm"
+)
+
+var (
+	buildOnce sync.Once
+	buildRes  *Result
+	buildErr  error
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CorpusSize = 3000
+	cfg.ClassifierExamples = 2000
+	cfg.Augment.PerCategoryCap = 60
+	cfg.Augment.HeavyCategoryCap = 120
+	return cfg
+}
+
+func quickBuild(t testing.TB) *Result {
+	t.Helper()
+	buildOnce.Do(func() { buildRes, buildErr = Build(quickConfig()) })
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildRes
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.CorpusSize = 0
+	if _, err := Build(cfg); err == nil {
+		t.Error("zero corpus should fail")
+	}
+	cfg = quickConfig()
+	cfg.ClassifierExamples = -1
+	if _, err := Build(cfg); err == nil {
+		t.Error("negative classifier examples should fail")
+	}
+	cfg = quickConfig()
+	cfg.BaseModel = "unknown"
+	if _, err := Build(cfg); err == nil {
+		t.Error("unknown base should fail")
+	}
+}
+
+func TestBuildArtifactsConsistent(t *testing.T) {
+	res := quickBuild(t)
+	if res.Model == nil || res.Dataset == nil {
+		t.Fatal("missing artefacts")
+	}
+	if res.Dataset.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if res.Dataset.Len() > len(res.Curated) {
+		t.Fatalf("more pairs (%d) than curated prompts (%d)", res.Dataset.Len(), len(res.Curated))
+	}
+	if res.Model.BaseName() != simllm.Qwen27B {
+		t.Fatalf("base = %s", res.Model.BaseName())
+	}
+	if res.CurationStats.AfterFilter != len(res.Curated) {
+		t.Fatalf("curation stats (%d) disagree with curated slice (%d)",
+			res.CurationStats.AfterFilter, len(res.Curated))
+	}
+	// Figure 6 shape: coding and qa must dominate the distribution.
+	counts := res.Dataset.CategoryCounts()
+	if counts[facet.Coding] < counts[facet.Roleplay] || counts[facet.QA] < counts[facet.Roleplay] {
+		t.Errorf("heavy categories not dominant: coding=%d qa=%d roleplay=%d",
+			counts[facet.Coding], counts[facet.QA], counts[facet.Roleplay])
+	}
+}
+
+func TestRetrainProducesDifferentBase(t *testing.T) {
+	res := quickBuild(t)
+	alt, err := Retrain(simllm.LLaMA27B, res.Dataset, quickConfig().SFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.BaseName() != simllm.LLaMA27B {
+		t.Fatalf("alt base = %s", alt.BaseName())
+	}
+	if _, err := Retrain("nope", res.Dataset, quickConfig().SFT); err == nil {
+		t.Error("unknown base should fail")
+	}
+}
+
+func TestAblateSelectionIsDirtier(t *testing.T) {
+	res := quickBuild(t)
+	ablated, err := AblateSelection(res.Curated, quickConfig().Augment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Stats.Rejected != 0 {
+		t.Error("ablated run must not invoke the critic")
+	}
+	if ablated.Stats.ResidualDefects <= res.AugmentStats.ResidualDefects {
+		t.Errorf("ablated defects (%d) should exceed curated defects (%d)",
+			ablated.Stats.ResidualDefects, res.AugmentStats.ResidualDefects)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := quickBuild(t)
+	b, err := Build(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.Len() != b.Dataset.Len() {
+		t.Fatal("dataset size differs across identical builds")
+	}
+	for i := range a.Dataset.Pairs {
+		if a.Dataset.Pairs[i] != b.Dataset.Pairs[i] {
+			t.Fatalf("pair %d differs across identical builds", i)
+		}
+	}
+	p := "Explain the science of fermentation."
+	if a.Model.Complement(p, "x") != b.Model.Complement(p, "x") {
+		t.Fatal("models behave differently across identical builds")
+	}
+}

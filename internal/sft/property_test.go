@@ -1,0 +1,116 @@
+package sft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/facet"
+	"repro/internal/simllm"
+)
+
+// TestPolicyRowsNormalisedProperty: after training on any golden-derived
+// dataset, every category's facet propensities sum to ~1.
+func TestPolicyRowsNormalisedProperty(t *testing.T) {
+	base := simllm.MustModel(simllm.Qwen27B)
+	m, err := Train(base, goldenDataset(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, row := range m.Policy().CategoryFacet {
+		var sum float64
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative propensity in category %d", c)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("category %d propensities sum to %v", c, sum)
+		}
+	}
+}
+
+func goldenDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	d := &dataset.Dataset{}
+	for _, pairs := range dataset.Golden() {
+		for _, p := range pairs {
+			if err := d.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+// TestComplementNeverEmptyProperty: for arbitrary prompt text and salt,
+// the model always emits a non-empty complement, and (unless it is a
+// deliberate defect expression) the complement parses into directives.
+func TestComplementNeverEmptyProperty(t *testing.T) {
+	base := simllm.MustModel(simllm.Qwen27B)
+	m, err := Train(base, goldenDataset(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(prompt, salt string) bool {
+		c := m.Complement(prompt, salt)
+		if c == "" {
+			return false
+		}
+		return facet.DetectDirectives(c).Len() > 0 || facet.DetectAnswerLeak(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComplementPreservesPromptProperty: the complement never contains
+// the user's prompt (it supplements, it does not echo or rewrite).
+func TestComplementDoesNotEchoPrompt(t *testing.T) {
+	base := simllm.MustModel(simllm.Qwen27B)
+	m, err := Train(base, goldenDataset(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := []string{
+		"Write a python function that implements a skip list.",
+		"Explain the mechanism of antibiotic resistance.",
+		"Summarize the meeting transcript from monday into key points.",
+	}
+	for _, p := range prompts {
+		for _, salt := range []string{"a", "b", "c"} {
+			c := m.Complement(p, salt)
+			if len(c) > 0 && len(p) > 0 && containsFold(c, p) {
+				t.Fatalf("complement echoes the prompt: %q", c)
+			}
+		}
+	}
+}
+
+func containsFold(haystack, needle string) bool {
+	h, n := []rune(haystack), []rune(needle)
+	if len(n) == 0 || len(n) > len(h) {
+		return false
+	}
+	for i := 0; i+len(n) <= len(h); i++ {
+		match := true
+		for j := range n {
+			a, b := h[i+j], n[j]
+			if a >= 'A' && a <= 'Z' {
+				a += 32
+			}
+			if b >= 'A' && b <= 'Z' {
+				b += 32
+			}
+			if a != b {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package simllm
+
+import (
+	"repro/internal/facet"
+	"repro/internal/textkit"
+)
+
+// ScorePromptQuality rates a user prompt's usefulness as training-data
+// source material on a 0-10 scale, playing the role of the BaiChuan-13B
+// quality scorer in §3.1. The score reflects what an LLM scorer actually
+// keys on — enough words to carry intent, a recognisable task, low
+// repetition — plus capability-dependent noise: weaker scorer models make
+// noisier judgements.
+func (m *Model) ScorePromptQuality(prompt string) float64 {
+	words := textkit.Words(prompt)
+	score := 5.0
+
+	// Length: too short carries no intent; absurd length is suspect.
+	switch {
+	case len(words) < 3:
+		score -= 4
+	case len(words) < 6:
+		score -= 1.5
+	case len(words) > 120:
+		score -= 1
+	default:
+		score += 1
+	}
+
+	// Repetition: junk like "asdf asdf asdf" repeats tokens.
+	if len(words) > 0 {
+		uniq := make(map[string]bool, len(words))
+		for _, w := range words {
+			uniq[w] = true
+		}
+		ratio := float64(len(uniq)) / float64(len(words))
+		if ratio < 0.6 {
+			score -= 3
+		} else {
+			score += ratio
+		}
+	}
+
+	// Recognisable intent: prompts whose words hit a category cue lexicon
+	// read as real tasks.
+	a := facet.AnalyzePrompt(prompt)
+	if a.CategoryScore > 0 {
+		score += 1.5
+	} else {
+		score -= 2
+	}
+
+	// Scorer noise shrinks with model quality.
+	noise := (m.draw(prompt, "score", "") - 0.5) * 2 * (1.2 - m.profile.Quality)
+	score += noise
+
+	if score < 0 {
+		score = 0
+	}
+	if score > 10 {
+		score = 10
+	}
+	return score
+}

@@ -1,0 +1,69 @@
+package simllm
+
+import (
+	"fmt"
+
+	"repro/internal/facet"
+)
+
+// SelfConsistent samples k responses with independent salts and returns
+// the one agreeing with the majority answer — the Self-Consistency
+// decoding strategy of the paper's related work (§2.1). On trap prompts
+// the "answer" is the stated claim; elsewhere the sample delivering the
+// most prompt needs wins (there is no discrete answer to vote on, so the
+// method degrades to best-of-k, as it does in practice on open-ended
+// tasks).
+//
+// Self-Consistency multiplies inference cost by k; PAS adds one short
+// complementary prompt. The ablation bench compares the two trade-offs.
+func (m *Model) SelfConsistent(input string, k int, opt Options) (string, error) {
+	if k < 1 {
+		return "", fmt.Errorf("simllm: %s: k must be >= 1, got %d", m.profile.Name, k)
+	}
+	samples := make([]string, k)
+	for i := range samples {
+		o := opt
+		o.Salt = fmt.Sprintf("%s/sc%d", opt.Salt, i)
+		samples[i] = m.Respond(input, o)
+	}
+	if k == 1 {
+		return samples[0], nil
+	}
+
+	analysis := facet.AnalyzePrompt(input)
+	if analysis.Trapped {
+		// Vote on the discrete claim.
+		var right, wrong []string
+		for _, s := range samples {
+			switch {
+			case analysis.Trap.ClaimsRight(s):
+				right = append(right, s)
+			case analysis.Trap.ClaimsWrong(s):
+				wrong = append(wrong, s)
+			}
+		}
+		if len(right) >= len(wrong) && len(right) > 0 {
+			return right[0], nil
+		}
+		if len(wrong) > 0 {
+			return wrong[0], nil
+		}
+		return samples[0], nil
+	}
+
+	// Open-ended: keep the sample covering the most needed facets.
+	best, bestScore := samples[0], -1.0
+	for _, s := range samples {
+		delivered := facet.DetectDelivered(s)
+		var score float64
+		for f := 0; f < facet.Count; f++ {
+			if analysis.Needs[f] > 0 && delivered[f] > 0 {
+				score += analysis.Needs[f]
+			}
+		}
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package simllm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/facet"
+)
+
+func TestSelfConsistentValidation(t *testing.T) {
+	m := MustModel(GPT35Turbo)
+	if _, err := m.SelfConsistent("hi", 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestSelfConsistentK1EqualsRespond(t *testing.T) {
+	m := MustModel(GPT40613)
+	p := "Explain the science of fermentation."
+	got, err := m.SelfConsistent(p, 1, Options{Salt: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Respond(p, Options{Salt: "x/sc0"})
+	if got != want {
+		t.Fatal("k=1 must be a single sample")
+	}
+}
+
+// TestSelfConsistencyImprovesTrapAccuracy reproduces the related-work
+// claim with its real precondition: majority voting amplifies per-sample
+// accuracy only when that accuracy exceeds one half (below it, the
+// majority converges on the common wrong answer — voting cannot rescue a
+// model that is usually wrong). GPT-4-turbo sits just above the
+// threshold, so voting over many paths pushes it further up.
+func TestSelfConsistencyImprovesTrapAccuracy(t *testing.T) {
+	m := MustModel(GPT4Turbo) // per-sample trap accuracy ~0.55
+	prompt := "A quick trick puzzle for you: heavier a kilogram of steel or a kilogram of feathers. What do you say?"
+	tr, ok := facet.FindTrap(prompt)
+	if !ok {
+		t.Fatal("trap missing")
+	}
+	const trials = 60
+	single, voted := 0, 0
+	for i := 0; i < trials; i++ {
+		opt := Options{Salt: fmt.Sprintf("sc/%d", i)}
+		if tr.ClaimsRight(m.Respond(prompt, opt)) {
+			single++
+		}
+		out, err := m.SelfConsistent(prompt, 15, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ClaimsRight(out) {
+			voted++
+		}
+	}
+	if voted <= single {
+		t.Fatalf("self-consistency did not help above threshold: single %d/%d, voted %d/%d",
+			single, trials, voted, trials)
+	}
+
+	// Below the 0.5 threshold voting must NOT rescue the model — the
+	// majority agrees on the canonical wrong answer.
+	weak := MustModel(GPT35Turbo) // per-sample trap accuracy ~0.15
+	weakVoted := 0
+	for i := 0; i < trials; i++ {
+		out, err := weak.SelfConsistent(prompt, 15, Options{Salt: fmt.Sprintf("scw/%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ClaimsRight(out) {
+			weakVoted++
+		}
+	}
+	if weakVoted > trials/3 {
+		t.Fatalf("voting should not rescue a usually-wrong model: %d/%d right", weakVoted, trials)
+	}
+}
+
+func TestSelfConsistentOpenEndedPicksCoverage(t *testing.T) {
+	m := MustModel(GPT35Turbo)
+	prompt := "Describe the history and mechanism of how blood pressure regulation works."
+	needs := facet.AnalyzePrompt(prompt).Needs
+	out, err := m.SelfConsistent(prompt, 5, Options{Salt: "cov"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen sample must cover at least as many needs as the first
+	// sample (it was selected for coverage).
+	first := m.Respond(prompt, Options{Salt: "cov/sc0"})
+	coverage := func(resp string) float64 {
+		d := facet.DetectDelivered(resp)
+		var s float64
+		for f := 0; f < facet.Count; f++ {
+			if needs[f] > 0 && d[f] > 0 {
+				s += needs[f]
+			}
+		}
+		return s
+	}
+	if coverage(out) < coverage(first) {
+		t.Fatalf("selected sample covers less than sample 0: %.2f < %.2f", coverage(out), coverage(first))
+	}
+}
+
+func BenchmarkSelfConsistent5(b *testing.B) {
+	m := MustModel(Qwen272B)
+	prompt := "A quick trick puzzle for you: heavier a kilogram of steel or a kilogram of feathers. What do you say?"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SelfConsistent(prompt, 5, Options{Salt: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

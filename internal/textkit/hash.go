@@ -1,0 +1,65 @@
+package textkit
+
+// FNV-1a hashing utilities used by the feature-hashing embedder and the
+// deterministic pseudo-random choices inside the simulated LLM. We inline
+// the constants rather than using hash/fnv to avoid per-call allocations
+// in the embedding hot path.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns the 64-bit FNV-1a hash of s.
+func Hash64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash64Seed hashes s mixed with a seed, so independent feature spaces
+// (for example the sign hash and the bucket hash of a hashing-trick
+// embedder) do not collide systematically.
+func Hash64Seed(s string, seed uint64) uint64 {
+	h := fnvOffset64 ^ (seed * fnvPrime64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// mix64 is a finaliser (splitmix64 style) that breaks up the linear
+// structure FNV leaves in the low bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Bucket maps s into [0, n) using the seeded hash. n must be > 0.
+func Bucket(s string, seed uint64, n int) int {
+	return int(Hash64Seed(s, seed) % uint64(n))
+}
+
+// Sign returns +1 or -1 derived from a seeded hash of s, used as the
+// hashing-trick sign to make collisions unbiased in expectation.
+func Sign(s string, seed uint64) float64 {
+	if Hash64Seed(s, seed)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Unit maps s to a deterministic float in [0, 1). It is the source of all
+// "stylistic" pseudo-randomness in the simulated LLM: same string, same
+// draw, regardless of call order.
+func Unit(s string, seed uint64) float64 {
+	return float64(Hash64Seed(s, seed)>>11) / (1 << 53)
+}

@@ -1,0 +1,307 @@
+// Package tokenizer implements a byte-pair-encoding (BPE) subword
+// tokenizer of the kind every chat LLM in the paper's roster uses. The
+// chat-API layer (internal/chatapi) uses it for token accounting — prompt
+// and completion token counts, usage-based limits — which is how the
+// plug-and-play deployment of §3.4 meters the extra tokens PAS adds to
+// each request.
+//
+// The implementation is the classic Sennrich et al. algorithm: train by
+// repeatedly merging the most frequent adjacent symbol pair; encode by
+// replaying merges in learned order. Training and encoding are
+// deterministic (ties break lexicographically).
+package tokenizer
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/textkit"
+)
+
+// endOfWord marks word boundaries inside the symbol stream so merges
+// never cross words.
+const endOfWord = "</w>"
+
+// Config controls training.
+type Config struct {
+	// VocabSize is the target vocabulary size (base symbols + merges).
+	VocabSize int
+	// MinPairFreq stops merging when the best pair is rarer than this.
+	MinPairFreq int
+}
+
+// DefaultConfig returns a vocabulary suitable for the synthetic corpus.
+func DefaultConfig() Config { return Config{VocabSize: 2048, MinPairFreq: 2} }
+
+// Tokenizer is a trained BPE model.
+type Tokenizer struct {
+	merges []mergeRule
+	rank   map[[2]string]int // pair -> merge priority
+	vocab  map[string]int    // token -> id
+	tokens []string          // id -> token
+}
+
+type mergeRule struct {
+	Left, Right string
+}
+
+// ErrEmptyCorpus is returned when training with no usable text.
+var ErrEmptyCorpus = errors.New("tokenizer: empty corpus")
+
+// Train learns a BPE vocabulary from the corpus.
+func Train(corpus []string, cfg Config) (*Tokenizer, error) {
+	if cfg.VocabSize < 16 {
+		return nil, fmt.Errorf("tokenizer: VocabSize must be >= 16, got %d", cfg.VocabSize)
+	}
+	if cfg.MinPairFreq < 1 {
+		return nil, fmt.Errorf("tokenizer: MinPairFreq must be >= 1, got %d", cfg.MinPairFreq)
+	}
+
+	// Word frequency table over the whole corpus.
+	wordFreq := make(map[string]int)
+	for _, doc := range corpus {
+		for _, w := range textkit.Words(doc) {
+			wordFreq[w]++
+		}
+	}
+	if len(wordFreq) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	// Each distinct word becomes a symbol sequence: runes + </w>.
+	type entry struct {
+		symbols []string
+		freq    int
+	}
+	entries := make([]entry, 0, len(wordFreq))
+	words := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic iteration
+	base := make(map[string]bool)
+	for _, w := range words {
+		var syms []string
+		for _, r := range w {
+			s := string(r)
+			syms = append(syms, s)
+			base[s] = true
+		}
+		syms = append(syms, endOfWord)
+		entries = append(entries, entry{symbols: syms, freq: wordFreq[w]})
+	}
+	base[endOfWord] = true
+
+	t := &Tokenizer{rank: make(map[[2]string]int), vocab: make(map[string]int)}
+	addTok := func(s string) {
+		if _, ok := t.vocab[s]; !ok {
+			t.vocab[s] = len(t.tokens)
+			t.tokens = append(t.tokens, s)
+		}
+	}
+	baseSyms := make([]string, 0, len(base))
+	for s := range base {
+		baseSyms = append(baseSyms, s)
+	}
+	sort.Strings(baseSyms)
+	for _, s := range baseSyms {
+		addTok(s)
+	}
+
+	// Merge loop.
+	for len(t.tokens) < cfg.VocabSize {
+		pairFreq := make(map[[2]string]int)
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.symbols); i++ {
+				pairFreq[[2]string{e.symbols[i], e.symbols[i+1]}] += e.freq
+			}
+		}
+		best, bestFreq := [2]string{}, 0
+		for p, f := range pairFreq {
+			if f > bestFreq || (f == bestFreq && lessPair(p, best)) {
+				best, bestFreq = p, f
+			}
+		}
+		if bestFreq < cfg.MinPairFreq {
+			break
+		}
+		merged := best[0] + best[1]
+		t.rank[best] = len(t.merges)
+		t.merges = append(t.merges, mergeRule{Left: best[0], Right: best[1]})
+		addTok(merged)
+		for i := range entries {
+			entries[i].symbols = applyMerge(entries[i].symbols, best, merged)
+		}
+	}
+	return t, nil
+}
+
+func lessPair(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func applyMerge(syms []string, pair [2]string, merged string) []string {
+	out := syms[:0]
+	for i := 0; i < len(syms); i++ {
+		if i+1 < len(syms) && syms[i] == pair[0] && syms[i+1] == pair[1] {
+			out = append(out, merged)
+			i++
+		} else {
+			out = append(out, syms[i])
+		}
+	}
+	return out
+}
+
+// VocabSize returns the number of known tokens.
+func (t *Tokenizer) VocabSize() int { return len(t.tokens) }
+
+// Encode tokenises text into vocabulary ids. Unknown symbols (characters
+// never seen in training) are skipped, like an <unk> drop.
+func (t *Tokenizer) Encode(text string) []int {
+	var ids []int
+	for _, w := range textkit.Words(text) {
+		for _, tok := range t.encodeWord(w) {
+			if id, ok := t.vocab[tok]; ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}
+
+// EncodeTokens returns the subword strings rather than ids, for
+// inspection and tests.
+func (t *Tokenizer) EncodeTokens(text string) []string {
+	var out []string
+	for _, w := range textkit.Words(text) {
+		out = append(out, t.encodeWord(w)...)
+	}
+	return out
+}
+
+// encodeWord replays the learned merges on one word, greedily applying
+// the lowest-rank applicable merge, exactly like training did.
+func (t *Tokenizer) encodeWord(w string) []string {
+	var syms []string
+	for _, r := range w {
+		syms = append(syms, string(r))
+	}
+	syms = append(syms, endOfWord)
+	for {
+		bestRank, bestAt := -1, -1
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := t.rank[[2]string{syms[i], syms[i+1]}]; ok {
+				if bestRank == -1 || r < bestRank {
+					bestRank, bestAt = r, i
+				}
+			}
+		}
+		if bestAt == -1 {
+			return syms
+		}
+		merged := syms[bestAt] + syms[bestAt+1]
+		syms = append(syms[:bestAt+1], syms[bestAt+2:]...)
+		syms[bestAt] = merged
+	}
+}
+
+// Decode reassembles ids into text. Word boundaries come from the </w>
+// markers; output is lower-case space-joined words (the tokenizer, like
+// the rest of the text substrate, is casefolding).
+func (t *Tokenizer) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id < 0 || id >= len(t.tokens) {
+			continue
+		}
+		b.WriteString(t.tokens[id])
+	}
+	return strings.TrimSpace(strings.ReplaceAll(b.String(), endOfWord, " "))
+}
+
+// CountTokens returns the number of BPE tokens in text — the unit the
+// chat API meters usage in.
+func (t *Tokenizer) CountTokens(text string) int {
+	n := 0
+	for _, w := range textkit.Words(text) {
+		n += len(t.encodeWord(w))
+	}
+	return n
+}
+
+// persisted is the on-disk format.
+type persisted struct {
+	Format string      `json:"format"`
+	Merges []mergeRule `json:"merges"`
+	Tokens []string    `json:"tokens"`
+}
+
+const formatV1 = "pas-bpe-v1"
+
+// Save writes the tokenizer as JSON.
+func (t *Tokenizer) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(persisted{Format: formatV1, Merges: t.merges, Tokens: t.tokens}); err != nil {
+		return fmt.Errorf("tokenizer: encoding: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a tokenizer saved with Save.
+func Load(r io.Reader) (*Tokenizer, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("tokenizer: decoding: %w", err)
+	}
+	if p.Format != formatV1 {
+		return nil, fmt.Errorf("tokenizer: unsupported format %q", p.Format)
+	}
+	t := &Tokenizer{merges: p.Merges, rank: make(map[[2]string]int, len(p.Merges)), vocab: make(map[string]int, len(p.Tokens)), tokens: p.Tokens}
+	for i, m := range p.Merges {
+		t.rank[[2]string{m.Left, m.Right}] = i
+	}
+	for i, tok := range p.Tokens {
+		if tok == "" {
+			return nil, fmt.Errorf("tokenizer: empty token at id %d", i)
+		}
+		if _, dup := t.vocab[tok]; dup {
+			return nil, fmt.Errorf("tokenizer: duplicate token %q", tok)
+		}
+		t.vocab[tok] = i
+	}
+	return t, nil
+}
+
+// SaveFile writes the tokenizer to path.
+func (t *Tokenizer) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tokenizer: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("tokenizer: closing %s: %w", path, cerr)
+		}
+	}()
+	return t.Save(f)
+}
+
+// LoadFile reads a tokenizer from path.
+func LoadFile(path string) (*Tokenizer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tokenizer: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,170 @@
+// Package pas is the public API of the PAS reproduction: a data-efficient,
+// plug-and-play prompt augmentation system (Zheng, Liang et al., ICDE
+// 2025).
+//
+// PAS takes a user prompt p, generates a short complementary prompt
+// p_c = M_p(p) with a fine-tuned model, and feeds cat(p, p_c) to any
+// downstream LLM:
+//
+//	r_e = LLM(cat(p, p_c))
+//
+// The complementary prompt never rewrites the user's words — it only adds
+// methodological guidance — which is what makes the system safe to plug in
+// front of any model.
+//
+// Build constructs the full system from scratch (synthetic corpus →
+// curation → pair generation with selection/regeneration → SFT), or a
+// System can be created from a previously trained and saved model. The
+// System implements the APE interface of internal/baselines, so the
+// evaluation harness treats PAS and every baseline uniformly.
+package pas
+
+import (
+	"fmt"
+
+	"repro/internal/augment"
+	"repro/internal/curation"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/sft"
+	"repro/internal/simllm"
+)
+
+// Config assembles the end-to-end build settings. It is the pipeline
+// configuration; see internal/pipeline for field documentation.
+type Config = pipeline.Config
+
+// DefaultConfig returns the build used by the experiments: a pool large
+// enough to curate ~9000 pairs on Qwen2-7B.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// BuildResult carries the trained system together with the artefacts of
+// each pipeline stage, for inspection and persistence.
+type BuildResult struct {
+	// System is the ready-to-serve PAS.
+	System *System
+	// Dataset is the generated (prompt, complementary prompt) dataset.
+	Dataset *dataset.Dataset
+	// CurationStats reports the §3.1 pipeline.
+	CurationStats curation.Stats
+	// AugmentStats reports the §3.2 pipeline.
+	AugmentStats augment.Stats
+}
+
+// Build runs the complete PAS construction: synthesise a raw prompt pool,
+// curate it, generate the complementary-prompt dataset, and fine-tune the
+// base model.
+func Build(cfg Config) (*BuildResult, error) {
+	res, err := pipeline.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pas: %w", err)
+	}
+	return &BuildResult{
+		System:        NewSystem(res.Model),
+		Dataset:       res.Dataset,
+		CurationStats: res.CurationStats,
+		AugmentStats:  res.AugmentStats,
+	}, nil
+}
+
+// System is a trained plug-and-play prompt augmentation system.
+type System struct {
+	model *sft.Model
+}
+
+// NewSystem wraps a fine-tuned PAS model.
+func NewSystem(model *sft.Model) *System {
+	return &System{model: model}
+}
+
+// LoadSystem reads a trained PAS model from a file saved with SaveModel.
+func LoadSystem(path string) (*System, error) {
+	m, err := sft.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(m), nil
+}
+
+// SaveModel persists the underlying fine-tuned model to path.
+func (s *System) SaveModel(path string) error { return s.model.SaveFile(path) }
+
+// BaseModel returns the name of the fine-tuned base LLM.
+func (s *System) BaseModel() string { return s.model.BaseName() }
+
+// Complement returns p_c = M_p(p): the complementary prompt for the
+// user's prompt. The salt decorrelates repeated calls; "" is fine for
+// single-shot use.
+func (s *System) Complement(prompt, salt string) string {
+	return s.model.Complement(prompt, salt)
+}
+
+// Augment returns cat(p, p_c): the text to send to the downstream LLM.
+// The user's original prompt is preserved verbatim.
+func (s *System) Augment(prompt, salt string) string {
+	c := s.Complement(prompt, salt)
+	if c == "" {
+		return prompt
+	}
+	return prompt + "\n" + c
+}
+
+// Name implements the APE interface.
+func (s *System) Name() string { return "PAS" }
+
+// Transform implements the APE interface; it is Augment.
+func (s *System) Transform(prompt, salt string) string { return s.Augment(prompt, salt) }
+
+// AugmentMessages augments a chat conversation: the complementary prompt
+// is computed from, and appended to, the final user turn only — earlier
+// turns and assistant messages pass through untouched, so PAS can sit in
+// a multi-turn conversation without rewriting history.
+// It returns an error when the conversation has no user turn.
+func (s *System) AugmentMessages(messages []simllm.Message, salt string) ([]simllm.Message, error) {
+	last := -1
+	for i := len(messages) - 1; i >= 0; i-- {
+		if messages[i].Role == "user" {
+			last = i
+			break
+		}
+	}
+	if last == -1 {
+		return nil, fmt.Errorf("pas: conversation has no user turn")
+	}
+	out := make([]simllm.Message, len(messages))
+	copy(out, messages)
+	out[last].Content = s.Augment(out[last].Content, salt)
+	return out, nil
+}
+
+// Enhanced is the result of running a prompt through PAS and a
+// downstream model.
+type Enhanced struct {
+	// Prompt is the user's original prompt.
+	Prompt string
+	// Complement is p_c.
+	Complement string
+	// Response is r_e = LLM(cat(p, p_c)).
+	Response string
+}
+
+// Chatter is any chat-capable downstream LLM: an in-process simulated
+// model (*simllm.Model) or a remote API-backed one (chatapi.Remote).
+type Chatter interface {
+	Name() string
+	Chat(messages []simllm.Message, opt simllm.Options) (string, error)
+}
+
+// Enhance runs the full plug-and-play path against a downstream model.
+func (s *System) Enhance(main Chatter, prompt, salt string) (Enhanced, error) {
+	if main == nil {
+		return Enhanced{}, fmt.Errorf("pas: nil downstream model")
+	}
+	c := s.Complement(prompt, salt)
+	resp, err := main.Chat([]simllm.Message{{Role: "user", Content: prompt + "\n" + c}},
+		simllm.Options{Salt: salt})
+	if err != nil {
+		return Enhanced{}, err
+	}
+	return Enhanced{Prompt: prompt, Complement: c, Response: resp}, nil
+}

@@ -1,0 +1,121 @@
+package pas
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Proxy is the transparent deployment form of the plug-and-play system:
+// a reverse proxy that sits in front of any OpenAI-style chat-completions
+// endpoint and augments the final user message of every request with a
+// complementary prompt before forwarding. Clients keep their existing
+// SDKs and URLs — they just point at the proxy — which is the strongest
+// reading of the paper's "can be plugged into any other LLMs available
+// via public APIs".
+//
+// Non-chat paths (model listings, health checks) pass through untouched.
+type Proxy struct {
+	system   *System
+	upstream *url.URL
+	rp       *httputil.ReverseProxy
+}
+
+// NewProxy creates a proxy forwarding to upstreamURL.
+func NewProxy(system *System, upstreamURL string) (*Proxy, error) {
+	if system == nil {
+		return nil, fmt.Errorf("pas: nil system")
+	}
+	u, err := url.Parse(upstreamURL)
+	if err != nil {
+		return nil, fmt.Errorf("pas: upstream URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("pas: upstream URL %q must be absolute", upstreamURL)
+	}
+	p := &Proxy{system: system, upstream: u}
+	p.rp = &httputil.ReverseProxy{
+		Director: func(r *http.Request) {
+			r.URL.Scheme = u.Scheme
+			r.URL.Host = u.Host
+			r.Host = u.Host
+		},
+		FlushInterval: 50 * time.Millisecond, // keep SSE streaming live
+	}
+	return p, nil
+}
+
+// chatPayload is the subset of the chat-completions request the proxy
+// rewrites; unknown fields are preserved via Raw.
+type chatPayload struct {
+	Messages []struct {
+		Role    string `json:"role"`
+		Content string `json:"content"`
+	} `json:"messages"`
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/chat/completions") {
+		if err := p.augmentRequest(r); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":{"message":%q,"type":"pas_proxy_error"}}`, err.Error()),
+				http.StatusBadRequest)
+			return
+		}
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+// augmentRequest rewrites the body in place: the last user message gets
+// the complementary prompt appended. All other fields — model, seed,
+// temperature, stream, anything the proxy does not know about — survive
+// byte-for-byte via generic JSON handling.
+func (p *Proxy) augmentRequest(r *http.Request) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("reading request: %w", err)
+	}
+	r.Body.Close()
+
+	var generic map[string]json.RawMessage
+	if err := json.Unmarshal(body, &generic); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	var payload chatPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return fmt.Errorf("invalid chat payload: %w", err)
+	}
+	last := -1
+	for i := len(payload.Messages) - 1; i >= 0; i-- {
+		if payload.Messages[i].Role == "user" {
+			last = i
+			break
+		}
+	}
+	if last >= 0 {
+		// Salt from the seed field if present, for reproducible proxies.
+		salt := ""
+		if raw, ok := generic["seed"]; ok {
+			salt = string(raw)
+		}
+		payload.Messages[last].Content = p.system.Augment(payload.Messages[last].Content, salt)
+		msgs, err := json.Marshal(payload.Messages)
+		if err != nil {
+			return fmt.Errorf("re-encoding messages: %w", err)
+		}
+		generic["messages"] = msgs
+		if body, err = json.Marshal(generic); err != nil {
+			return fmt.Errorf("re-encoding request: %w", err)
+		}
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	r.Header.Set("Content-Length", fmt.Sprint(len(body)))
+	return nil
+}

@@ -1,0 +1,144 @@
+package pas
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chatapi"
+	"repro/internal/simllm"
+)
+
+func proxyFixture(t *testing.T) (*chatapi.Client, *chatapi.Client) {
+	t.Helper()
+	// Upstream: the simulated chat API.
+	apiServer, err := chatapi.NewServer(chatapi.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := httptest.NewServer(apiServer.Handler())
+	t.Cleanup(upstream.Close)
+
+	// The PAS proxy in front of it.
+	proxy, err := NewProxy(testSystem(t).System, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	direct, err := chatapi.NewClient(chatapi.ClientConfig{BaseURL: upstream.URL, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxied, err := chatapi.NewClient(chatapi.ClientConfig{BaseURL: front.URL, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return direct, proxied
+}
+
+func TestNewProxyValidation(t *testing.T) {
+	sys := testSystem(t).System
+	if _, err := NewProxy(nil, "http://x"); err == nil {
+		t.Error("nil system should fail")
+	}
+	if _, err := NewProxy(sys, "not-a-url/"); err == nil {
+		t.Error("relative upstream should fail")
+	}
+	if _, err := NewProxy(sys, "://bad"); err == nil {
+		t.Error("malformed upstream should fail")
+	}
+}
+
+func TestProxyAugmentsChatRequests(t *testing.T) {
+	direct, proxied := proxyFixture(t)
+	req := chatapi.ChatRequest{
+		Model:    simllm.GPT40613,
+		Seed:     "proxy-test",
+		Messages: []chatapi.Message{{Role: "user", Content: "Explain how tides form."}},
+	}
+	bare, err := direct.ChatCompletion(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	augmented, err := proxied.ChatCompletion(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxied request must produce a different (augmented) response,
+	// and it must match what explicit augmentation over the direct path
+	// would produce — the proxy is exactly the Augment transform.
+	if augmented.Choices[0].Message.Content == bare.Choices[0].Message.Content {
+		t.Fatal("proxy changed nothing")
+	}
+	sys := testSystem(t).System
+	explicit, err := direct.ChatCompletion(chatapi.ChatRequest{
+		Model: simllm.GPT40613,
+		Seed:  "proxy-test",
+		Messages: []chatapi.Message{{
+			Role:    "user",
+			Content: sys.Augment("Explain how tides form.", `"proxy-test"`),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if augmented.Choices[0].Message.Content != explicit.Choices[0].Message.Content {
+		t.Fatal("proxied response differs from explicit augmentation")
+	}
+}
+
+func TestProxyPreservesNonChatPaths(t *testing.T) {
+	_, proxied := proxyFixture(t)
+	models, err := proxied.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("model listing should pass through the proxy")
+	}
+}
+
+func TestProxyStreamingPassesThrough(t *testing.T) {
+	_, proxied := proxyFixture(t)
+	var chunks int
+	content, err := proxied.ChatCompletionStream(chatapi.ChatRequest{
+		Model:    simllm.GPT40613,
+		Seed:     "stream-proxy",
+		Messages: []chatapi.Message{{Role: "user", Content: "Explain the science of fermentation."}},
+	}, func(string) { chunks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks < 2 || content == "" {
+		t.Fatalf("streaming through proxy broken: %d chunks", chunks)
+	}
+}
+
+// TestProxyRejectsGarbageChatBody sends a raw broken body straight
+// through net/http (the chatapi client validates JSON before sending, so
+// garbage cannot come from it).
+func TestProxyRejectsGarbageChatBody(t *testing.T) {
+	apiServer, err := chatapi.NewServer(chatapi.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := httptest.NewServer(apiServer.Handler())
+	defer upstream.Close()
+	proxy, err := NewProxy(testSystem(t).System, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package pas
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// AugmentRequest is the body of POST /v1/augment.
+type AugmentRequest struct {
+	// Prompt is the user prompt to complement. Required.
+	Prompt string `json:"prompt"`
+	// Salt optionally decorrelates repeated calls.
+	Salt string `json:"salt,omitempty"`
+}
+
+// AugmentResponse is the reply of POST /v1/augment.
+type AugmentResponse struct {
+	// Prompt echoes the original prompt.
+	Prompt string `json:"prompt"`
+	// Complement is p_c = M_p(p).
+	Complement string `json:"complement"`
+	// Augmented is cat(p, p_c), ready to send to any LLM.
+	Augmented string `json:"augmented"`
+	// Model is the PAS base model name.
+	Model string `json:"model"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxPromptBytes bounds request bodies; a prompt this size is abuse.
+const maxPromptBytes = 1 << 20
+
+// Handler returns the HTTP handler exposing the system as a
+// plug-and-play service:
+//
+//	POST /v1/augment {"prompt": "..."} -> AugmentResponse
+//	GET  /healthz                      -> 200 "ok"
+//
+// The handler is safe for concurrent use.
+func (s *System) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/augment", s.handleAugment)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	var req AugmentRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPromptBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Prompt) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "prompt is required"})
+		return
+	}
+	c := s.Complement(req.Prompt, req.Salt)
+	writeJSON(w, http.StatusOK, AugmentResponse{
+		Prompt:     req.Prompt,
+		Complement: c,
+		Augmented:  req.Prompt + "\n" + c,
+		Model:      s.BaseModel(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pas: writing response: %v", err)
+	}
+}
+
+// Serve runs the plug-and-play HTTP service on addr until the server
+// fails. It is a convenience for cmd/passerve; libraries should mount
+// Handler on their own server for timeout and shutdown control.
+func (s *System) Serve(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
