@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	pasllm [-addr :8423] [-rate 600] [-vocab 2048]
+//	pasllm [-addr :8423] [-rate 600] [-vocab 2048] [-cache 0]
 //
-// Endpoints: POST /v1/chat/completions, GET /v1/models.
+// Endpoints: POST /v1/chat/completions, GET /v1/models, GET /v1/status.
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		addr  = flag.String("addr", ":8423", "listen address")
 		rate  = flag.Int("rate", 600, "requests per minute per API key (0 = unlimited)")
 		vocab = flag.Int("vocab", 2048, "BPE vocabulary size for usage metering")
+		cache = flag.Int("cache", 0, "LRU response-cache entries (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	server, err := chatapi.NewServer(chatapi.ServerConfig{RatePerMinute: *rate, Tokenizer: tok})
+	server, err := chatapi.NewServer(chatapi.ServerConfig{RatePerMinute: *rate, Tokenizer: tok, CacheSize: *cache})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,13 +8,22 @@
 //	pasproxy -model pas-model.json -upstream http://localhost:8423 [-addr :8424]
 //
 // Pair it with cmd/pasllm as the upstream for a fully local demo.
+//
+// Augmentation runs through the same serving core as cmd/passerve —
+// result cache (-cache-size, -cache-ttl), single-flight dedup, bounded
+// admission queue (-max-inflight, -queue-depth, -queue-wait) — and the
+// core's snapshot is served locally at GET /v1/stats (all other paths
+// forward to the upstream). SIGINT/SIGTERM drain in-flight requests.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	pas "repro"
@@ -26,15 +35,29 @@ func main() {
 	log.SetPrefix("pasproxy: ")
 
 	var (
-		model    = flag.String("model", "pas-model.json", "trained PAS model (from pastrain)")
-		upstream = flag.String("upstream", "http://localhost:8423", "chat-completions endpoint to front")
-		addr     = flag.String("addr", ":8424", "listen address")
+		model       = flag.String("model", "pas-model.json", "trained PAS model (from pastrain)")
+		upstream    = flag.String("upstream", "http://localhost:8423", "chat-completions endpoint to front")
+		addr        = flag.String("addr", ":8424", "listen address")
+		cacheSize   = flag.Int("cache-size", 4096, "complement result cache entries (negative disables)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry; sound for a fixed model)")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
+		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
 	)
 	flag.Parse()
 
 	sys, err := pas.LoadSystem(*model)
 	if err != nil {
 		log.Fatalf("%v (train one with pastrain)", err)
+	}
+	if err := sys.EnableServing(pas.ServingConfig{
+		CacheSize:   *cacheSize,
+		CacheTTL:    *cacheTTL,
+		MaxInFlight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		QueueWait:   *queueWait,
+	}); err != nil {
+		log.Fatal(err)
 	}
 	proxy, err := pas.NewProxy(sys, *upstream)
 	if err != nil {
@@ -50,7 +73,13 @@ func main() {
 		httpmw.Logging(logger),
 		metrics.Middleware(),
 	))
+	// Served locally, not proxied: the serving-core snapshot and the
+	// HTTP-layer metrics.
+	mux.Handle("/v1/stats", sys.StatsHandler())
 	mux.Handle("/metricsz", metrics.Handler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	log.Printf("augmenting traffic to %s on %s (PAS base %s)", *upstream, *addr, sys.BaseModel())
 	srv := &http.Server{
@@ -58,5 +87,18 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, draining in-flight requests...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("shut down cleanly")
+	}
 }

@@ -2,6 +2,7 @@
 // service:
 //
 //	POST /v1/augment {"prompt": "..."}  ->  {"complement": ..., "augmented": ...}
+//	GET  /v1/stats                      ->  serving-core snapshot
 //	GET  /healthz
 //
 // Usage:
@@ -10,13 +11,23 @@
 //
 // With -model "" (or a missing file and -build), the command builds a
 // fresh small PAS in-process, which is convenient for demos.
+//
+// The augment hot path runs through the serving core: a sharded TTL-LRU
+// result cache (-cache-size, -cache-ttl), single-flight deduplication of
+// concurrent identical prompts, and a bounded admission queue
+// (-max-inflight, -queue-depth, -queue-wait) that sheds overload with
+// 503 + Retry-After. SIGINT/SIGTERM drain in-flight requests before
+// exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	pas "repro"
@@ -31,7 +42,12 @@ func main() {
 		model       = flag.String("model", "pas-model.json", "trained model path (from pastrain)")
 		addr        = flag.String("addr", ":8422", "listen address")
 		build       = flag.Bool("build", false, "ignore -model and build a small PAS in-process")
-		concurrency = flag.Int("concurrency", 64, "max in-flight requests")
+		concurrency = flag.Int("concurrency", 256, "hard cap on in-flight HTTP requests (outer backstop)")
+		cacheSize   = flag.Int("cache-size", 4096, "complement result cache entries (negative disables)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry; sound for a fixed model)")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
+		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
 	)
 	flag.Parse()
 
@@ -56,6 +72,16 @@ func main() {
 		}
 	}
 
+	if err := sys.EnableServing(pas.ServingConfig{
+		CacheSize:   *cacheSize,
+		CacheTTL:    *cacheTTL,
+		MaxInFlight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		QueueWait:   *queueWait,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	metrics := httpmw.NewMetrics()
 	logger := log.New(os.Stderr, "passerve: ", 0)
 	mux := http.NewServeMux()
@@ -68,6 +94,9 @@ func main() {
 	))
 	mux.Handle("/metricsz", metrics.Handler())
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("serving PAS (base %s) on %s", sys.BaseModel(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -76,5 +105,18 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, draining in-flight requests...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("shut down cleanly")
+	}
 }

@@ -1,7 +1,10 @@
 package chatapi
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"testing/quick"
 
@@ -110,5 +113,62 @@ func TestServerCacheValidation(t *testing.T) {
 	}
 	if h, m := s.CacheStats(); h != 0 || m != 0 {
 		t.Fatal("disabled cache should report zeros")
+	}
+}
+
+// TestStatusSurfacesCacheCounters: the /v1/status endpoint must expose
+// the lruCache hit/miss counters so operators can see cache
+// effectiveness without shell access.
+func TestStatusSurfacesCacheCounters(t *testing.T) {
+	s, err := NewServer(ServerConfig{CacheSize: 16, Tokenizer: testTokenizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestHTTP(t, s)
+	c := testClient(t, srv)
+
+	req := ChatRequest{Model: simllm.GPT40613, Seed: "status",
+		Messages: []Message{{Role: "user", Content: "Explain how tides form."}}}
+	for i := 0; i < 2; i++ {
+		if _, err := c.ChatCompletion(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cache.Enabled || st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("status cache block = %+v, want enabled with 1 hit / 1 miss / 1 entry", st.Cache)
+	}
+	if st.Models == 0 {
+		t.Fatalf("status = %+v, want model count", st)
+	}
+}
+
+// TestStatusWithCacheDisabled reports a disabled cache rather than
+// fake zeros-with-enabled.
+func TestStatusWithCacheDisabled(t *testing.T) {
+	s, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/status", nil))
+	var st Status
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Enabled || st.Cache.Entries != 0 {
+		t.Fatalf("disabled cache reported as %+v", st.Cache)
 	}
 }

@@ -156,11 +156,36 @@ func (s *Server) CacheStats() (hits, misses int64) {
 //
 //	POST /v1/chat/completions
 //	GET  /v1/models
+//	GET  /v1/status
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/chat/completions", s.handleChat)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/status", s.handleStatus)
 	return mux
+}
+
+// Status is the GET /v1/status body: operational state of the endpoint
+// including the response-cache counters from CacheStats.
+type Status struct {
+	Models      int  `json:"models"`
+	RateLimited bool `json:"rate_limited"`
+	Cache       struct {
+		Enabled bool  `json:"enabled"`
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := Status{Models: len(s.names), RateLimited: s.limiter != nil}
+	st.Cache.Hits, st.Cache.Misses = s.CacheStats()
+	if s.cache != nil {
+		st.Cache.Enabled = true
+		st.Cache.Entries = s.cache.len()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

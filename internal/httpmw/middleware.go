@@ -113,8 +113,11 @@ func (sr *statusRecorder) statusOr200() int {
 	return sr.status
 }
 
-// ConcurrencyLimit rejects requests beyond n in flight with 503, the
-// standard backpressure for a model-serving endpoint.
+// ConcurrencyLimit rejects requests beyond n in flight with 503 and a
+// Retry-After hint, the standard backpressure for a model-serving
+// endpoint. A request whose client has already disconnected releases
+// its slot without running the handler, so a burst of abandoned
+// requests cannot hold capacity hostage.
 func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
 	if n < 1 {
 		n = 1
@@ -125,11 +128,25 @@ func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
 			select {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
+				if r.Context().Err() != nil {
+					return // client gone before we started; don't burn the slot
+				}
 				next.ServeHTTP(w, r)
 			default:
-				http.Error(w, `{"error":"server overloaded"}`, http.StatusServiceUnavailable)
+				w.Header().Set("Retry-After", "1")
+				writeJSONError(w, http.StatusServiceUnavailable, "server overloaded")
 			}
 		})
+	}
+}
+
+// writeJSONError writes the envelope the PAS services use everywhere
+// else, so limiter 503s are machine-parseable like every other error.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("httpmw: writing error response: %v", err)
 	}
 }
 

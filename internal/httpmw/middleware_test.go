@@ -2,6 +2,7 @@ package httpmw
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -119,8 +120,42 @@ func TestConcurrencyLimitSheds(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second request status = %d, want 503", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("shed response content type = %q, want JSON envelope", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"error"`) {
+		t.Fatalf("shed body = %q, want error envelope", body)
+	}
 	close(release)
 	wg.Wait()
+}
+
+// TestConcurrencyLimitSkipsCancelledClients: a request whose client
+// disconnected before a slot freed up must not run the handler.
+func TestConcurrencyLimitSkipsCancelledClients(t *testing.T) {
+	var ran bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ran = true
+	}), ConcurrencyLimit(1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/", nil).WithContext(ctx)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if ran {
+		t.Fatal("handler ran for a disconnected client")
+	}
+
+	// A live client still gets through afterwards: the cancelled
+	// request released its slot.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !ran {
+		t.Fatal("slot not released after cancelled request")
+	}
 }
 
 func TestMetricsCountsAndErrors(t *testing.T) {

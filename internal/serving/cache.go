@@ -1,0 +1,137 @@
+package serving
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/textkit"
+)
+
+// cache is a sharded TTL-LRU of complement results. Sharding by key hash
+// keeps lock contention bounded under concurrent load: each shard has its
+// own mutex, recency list, and counters, so N cores hitting N different
+// keys rarely serialize on the same lock. A TTL bounds staleness when the
+// underlying model is hot-swapped or retrained; with the fixed
+// deterministic mapping p -> p_c of a single model, entries never go
+// semantically stale and TTL 0 (no expiry) is sound.
+type cache struct {
+	shards []*cacheShard
+	ttl    time.Duration
+	now    func() time.Time
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	hits, misses, evictions, expiries int64
+}
+
+type cacheEntry struct {
+	key     string
+	val     string
+	expires time.Time // zero when the cache has no TTL
+}
+
+// newCache builds a sharded cache holding ~size entries in total. The
+// per-shard capacity is rounded up so the aggregate capacity is at least
+// size.
+func newCache(size, shards int, ttl time.Duration, now func() time.Time) *cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > size {
+		shards = size
+	}
+	perShard := (size + shards - 1) / shards
+	c := &cache{shards: make([]*cacheShard, shards), ttl: ttl, now: now}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   perShard,
+			order: list.New(),
+			byKey: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *cache) shard(key string) *cacheShard {
+	return c.shards[textkit.Hash64(key)%uint64(len(c.shards))]
+}
+
+// get returns the cached value and whether it was present and fresh.
+// Expired entries are removed on access and counted separately from
+// plain misses.
+func (c *cache) get(key string) (string, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		s.misses++
+		return "", false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().After(e.expires) {
+		s.order.Remove(el)
+		delete(s.byKey, key)
+		s.expiries++
+		s.misses++
+		return "", false
+	}
+	s.order.MoveToFront(el)
+	s.hits++
+	return e.val, true
+}
+
+// put stores a value, evicting the least recently used entry of the
+// shard when full.
+func (c *cache) put(key, val string) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.val = val
+		e.expires = expires
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.order.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+		s.evictions++
+	}
+}
+
+// CacheStats aggregates the per-shard counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Expiries  int64 `json:"expiries"`
+	Entries   int   `json:"entries"`
+}
+
+func (c *cache) stats() CacheStats {
+	var out CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Expiries += s.expiries
+		out.Entries += s.order.Len()
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package serving is the admission-controlled, deduplicating, cached
+// core of the PAS hot path. It wraps any complement function
+// func(prompt, salt) string behind three layers, outermost first:
+//
+//  1. a sharded TTL-LRU result cache keyed on (prompt, salt, model) —
+//     PAS computes a fixed mapping p -> p_c, so identical requests are
+//     pure repeat work;
+//  2. single-flight deduplication — N concurrent identical requests
+//     trigger exactly one computation and share its result;
+//  3. a bounded admission queue with deadline-aware load shedding —
+//     at most MaxInFlight computations run at once, at most QueueDepth
+//     requests wait for a slot, and a request that cannot get a slot
+//     within its budget (QueueWait capped by the context deadline) is
+//     shed with a typed error the HTTP layer maps to 503 + Retry-After.
+//
+// The package is pure library: it knows nothing about HTTP except the
+// optional StatsHandler, and the complement function is injected, so
+// the same core fronts the in-process system (cmd/passerve), the
+// reverse proxy (cmd/pasproxy), and any future backend.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Func computes the complementary prompt p_c = M_p(p). It must be safe
+// for concurrent use; the PAS model's Complement is.
+type Func func(prompt, salt string) string
+
+// Typed shedding errors; the serving layers above map both to
+// 503 + Retry-After.
+var (
+	// ErrQueueFull reports that MaxInFlight slots were busy and the
+	// admission queue was already holding QueueDepth waiters.
+	ErrQueueFull = errors.New("serving: admission queue full")
+	// ErrDeadline reports that no slot freed up within the request's
+	// wait budget (QueueWait, or less when the context deadline is
+	// nearer).
+	ErrDeadline = errors.New("serving: queue wait budget exhausted")
+)
+
+// Config sizes the serving core. The zero value of any field selects
+// its default.
+type Config struct {
+	// CacheSize is the total result-cache capacity in entries across
+	// all shards. Negative disables caching. Default 4096.
+	CacheSize int
+	// CacheShards is the shard count; more shards, less lock
+	// contention. Default 16 (capped at CacheSize).
+	CacheShards int
+	// CacheTTL expires entries this long after insertion; 0 keeps them
+	// until evicted. For a fixed deterministic model TTL 0 is sound;
+	// set a TTL when the model behind the core can be retrained.
+	CacheTTL time.Duration
+	// MaxInFlight bounds concurrent complement computations. Default 64.
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for a computation slot.
+	// Unlike the other fields, 0 is meaningful rather than a default:
+	// it disables waiting entirely, restoring instant hard-reject.
+	QueueDepth int
+	// QueueWait is the longest a request waits for a slot before being
+	// shed; the context deadline tightens it per request. Default 100ms.
+	QueueWait time.Duration
+	// Now injects the clock for TTL expiry; tests pin it. Default
+	// time.Now.
+	Now func() time.Time
+}
+
+func (cfg *Config) applyDefaults() error {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.CacheShards < 0 {
+		return fmt.Errorf("serving: CacheShards must be >= 0, got %d", cfg.CacheShards)
+	}
+	if cfg.CacheTTL < 0 {
+		return fmt.Errorf("serving: CacheTTL must be >= 0, got %v", cfg.CacheTTL)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxInFlight < 0 {
+		return fmt.Errorf("serving: MaxInFlight must be > 0, got %d", cfg.MaxInFlight)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("serving: QueueDepth must be >= 0, got %d", cfg.QueueDepth)
+	}
+	if cfg.QueueWait == 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	if cfg.QueueWait < 0 {
+		return fmt.Errorf("serving: QueueWait must be >= 0, got %v", cfg.QueueWait)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return nil
+}
+
+// Core is the serving engine. Create with New; safe for concurrent use.
+type Core struct {
+	fn    Func
+	cfg   Config
+	cache *cache // nil when caching is disabled
+
+	flight flightGroup
+	slots  chan struct{} // counting semaphore, cap MaxInFlight
+	queue  chan struct{} // waiting tokens, cap QueueDepth
+
+	requests      int64
+	completed     int64
+	dedupHits     int64
+	shedQueueFull int64
+	shedDeadline  int64
+
+	lat *latencyRing
+}
+
+// New builds a serving core around fn.
+func New(fn Func, cfg Config) (*Core, error) {
+	if fn == nil {
+		return nil, errors.New("serving: nil complement function")
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		fn:    fn,
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.QueueDepth),
+		lat:   newLatencyRing(latencyWindow),
+	}
+	if cfg.CacheSize > 0 {
+		c.cache = newCache(cfg.CacheSize, cfg.CacheShards, cfg.CacheTTL, cfg.Now)
+	}
+	return c, nil
+}
+
+// key joins the cache/dedup dimensions with NUL separators; prompts are
+// free text, so a plain concatenation would let ("a", "bc") collide
+// with ("ab", "c").
+func key(prompt, salt, model string) string {
+	return prompt + "\x00" + salt + "\x00" + model
+}
+
+// Do serves one complement request through cache, dedup, and
+// admission. The model string scopes the cache key so one core can
+// front several model versions without cross-talk. On success it
+// returns p_c; on overload it returns ErrQueueFull or ErrDeadline; a
+// context that ends first returns its ctx.Err().
+func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, error) {
+	atomic.AddInt64(&c.requests, 1)
+	if err := ctx.Err(); err != nil {
+		return "", err // client already gone; don't compute for the dead
+	}
+	start := c.cfg.Now()
+	k := key(prompt, salt, model)
+	if c.cache != nil {
+		if v, ok := c.cache.get(k); ok {
+			c.finish(start)
+			return v, nil
+		}
+	}
+	v, shared, err := c.flight.do(ctx, k, func() (string, error) {
+		release, err := c.admit(ctx)
+		if err != nil {
+			return "", err
+		}
+		defer release()
+		out := c.fn(prompt, salt)
+		if c.cache != nil {
+			c.cache.put(k, out)
+		}
+		return out, nil
+	})
+	if shared {
+		atomic.AddInt64(&c.dedupHits, 1)
+	}
+	if err != nil {
+		return "", err
+	}
+	c.finish(start)
+	return v, nil
+}
+
+func (c *Core) finish(start time.Time) {
+	atomic.AddInt64(&c.completed, 1)
+	c.lat.observe(c.cfg.Now().Sub(start))
+}
+
+// admit acquires a computation slot: immediately when one is free,
+// otherwise by waiting in the bounded queue for at most the request's
+// budget. It returns the release function for the slot.
+func (c *Core) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case c.slots <- struct{}{}:
+		return func() { <-c.slots }, nil
+	default:
+	}
+	// All slots busy: claim a waiting token or shed.
+	select {
+	case c.queue <- struct{}{}:
+	default:
+		atomic.AddInt64(&c.shedQueueFull, 1)
+		return nil, ErrQueueFull
+	}
+	defer func() { <-c.queue }()
+
+	wait := c.cfg.QueueWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		atomic.AddInt64(&c.shedDeadline, 1)
+		return nil, ErrDeadline
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		return func() { <-c.slots }, nil
+	case <-timer.C:
+		atomic.AddInt64(&c.shedDeadline, 1)
+		return nil, ErrDeadline
+	case <-ctx.Done():
+		// A deadline that expires while queued is the same outcome as
+		// an exhausted wait budget (the two timers race when the
+		// deadline is the tighter bound); a cancellation is the client
+		// leaving and keeps its own error.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			atomic.AddInt64(&c.shedDeadline, 1)
+			return nil, ErrDeadline
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Overloaded reports whether err is one of the core's shedding errors,
+// for which the caller should answer 503 with a Retry-After hint.
+func Overloaded(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadline)
+}

@@ -1,0 +1,73 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup is a hand-rolled single-flight: concurrent calls for the
+// same key share one execution of fn. With a deterministic complement
+// function the N-1 followers would compute byte-identical results, so
+// collapsing them trades pure redundancy for a channel wait. The module
+// has no dependencies, so this re-implements the core of
+// golang.org/x/sync/singleflight with one addition: followers honor
+// their own context, so a client that disconnects while waiting is
+// released immediately instead of being held until the leader finishes.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  string
+	err  error
+	// dups counts followers that attached to this call; read by tests
+	// and by the core's dedup-hit counter.
+	dups int64
+}
+
+// do executes fn once per key among concurrent callers. It reports
+// whether this caller was a follower (shared someone else's execution).
+// Followers return early with ctx.Err() when their context ends first;
+// the leader always runs fn to completion so the result can still be
+// cached for everyone else.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, error)) (val string, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		atomic.AddInt64(&c.dups, 1)
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return "", true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// waiters returns the number of followers currently attached to key's
+// in-flight call, or 0 when none is in flight. Test hook.
+func (g *flightGroup) waiters(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return atomic.LoadInt64(&c.dups)
+	}
+	return 0
+}

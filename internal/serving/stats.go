@@ -1,0 +1,136 @@
+package serving
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyWindow is how many recent request latencies the quantile
+// estimator keeps. A sliding window keeps the quantiles responsive to
+// load changes while bounding memory; 4096 float64s is 32KiB.
+const latencyWindow = 4096
+
+// latencyRing is a fixed-size ring of recent latencies in
+// milliseconds.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing {
+	return &latencyRing{buf: make([]float64, n)}
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the observed window (in insertion-independent order;
+// quantiles sort anyway).
+func (r *latencyRing) snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]float64, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// Stats is a point-in-time snapshot of the serving core, shaped for
+// the GET /v1/stats JSON body.
+type Stats struct {
+	// InFlight is the number of complement computations running now.
+	InFlight int `json:"in_flight"`
+	// QueueDepth is the number of requests currently waiting for a
+	// slot; QueueCapacity is the configured bound.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+
+	// Shed totals the load-shedding outcomes; the two components tell
+	// overload apart from tight deadlines.
+	Shed          int64 `json:"shed"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+
+	// DedupHits counts requests served by attaching to another
+	// request's in-flight computation.
+	DedupHits int64 `json:"dedup_hits"`
+
+	Cache CacheStats `json:"cache"`
+	// CacheHitRatio is hits/(hits+misses), 0 when no lookups yet.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	// Latency quantiles over the recent completed-request window, in
+	// milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// Stats returns a consistent-enough snapshot (counters are read
+// atomically but not as one transaction; fine for monitoring).
+func (c *Core) Stats() Stats {
+	s := Stats{
+		InFlight:      len(c.slots),
+		QueueDepth:    len(c.queue),
+		QueueCapacity: cap(c.queue),
+		Requests:      atomic.LoadInt64(&c.requests),
+		Completed:     atomic.LoadInt64(&c.completed),
+		ShedQueueFull: atomic.LoadInt64(&c.shedQueueFull),
+		ShedDeadline:  atomic.LoadInt64(&c.shedDeadline),
+		DedupHits:     atomic.LoadInt64(&c.dedupHits),
+	}
+	s.Shed = s.ShedQueueFull + s.ShedDeadline
+	if c.cache != nil {
+		s.Cache = c.cache.stats()
+		if lookups := s.Cache.Hits + s.Cache.Misses; lookups > 0 {
+			s.CacheHitRatio = float64(s.Cache.Hits) / float64(lookups)
+		}
+	}
+	if lats := c.lat.snapshot(); len(lats) > 0 {
+		s.LatencyP50Ms = quantileOrZero(lats, 0.50)
+		s.LatencyP95Ms = quantileOrZero(lats, 0.95)
+		s.LatencyP99Ms = quantileOrZero(lats, 0.99)
+	}
+	return s
+}
+
+func quantileOrZero(xs []float64, q float64) float64 {
+	v, err := metrics.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// StatsHandler serves the snapshot as JSON; mount at GET /v1/stats.
+func (c *Core) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(c.Stats()); err != nil {
+			log.Printf("serving: writing stats: %v", err)
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/curation"
 	"repro/internal/dataset"
 	"repro/internal/pipeline"
+	"repro/internal/serving"
 	"repro/internal/sft"
 	"repro/internal/simllm"
 )
@@ -70,6 +71,9 @@ func Build(cfg Config) (*BuildResult, error) {
 // System is a trained plug-and-play prompt augmentation system.
 type System struct {
 	model *sft.Model
+	// core, when enabled, is the admission-controlled, deduplicating,
+	// cached hot path behind the HTTP surfaces; see EnableServing.
+	core *serving.Core
 }
 
 // NewSystem wraps a fine-tuned PAS model.

@@ -64,8 +64,15 @@ type chatPayload struct {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/chat/completions") {
 		if err := p.augmentRequest(r); err != nil {
-			http.Error(w, fmt.Sprintf(`{"error":{"message":%q,"type":"pas_proxy_error"}}`, err.Error()),
-				http.StatusBadRequest)
+			status := http.StatusBadRequest
+			if IsOverloaded(err) {
+				// The serving core shed the augmentation; tell the
+				// client to retry rather than forwarding un-augmented
+				// traffic (silent degradation would corrupt A/B data).
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
+			}
+			http.Error(w, fmt.Sprintf(`{"error":{"message":%q,"type":"pas_proxy_error"}}`, err.Error()), status)
 			return
 		}
 	}
@@ -104,7 +111,14 @@ func (p *Proxy) augmentRequest(r *http.Request) error {
 		if raw, ok := generic["seed"]; ok {
 			salt = string(raw)
 		}
-		payload.Messages[last].Content = p.system.Augment(payload.Messages[last].Content, salt)
+		// Through the serving core (cache + dedup + admission) when the
+		// system has one; the request context propagates deadlines and
+		// client disconnects into the queue.
+		augmented, err := p.system.AugmentContext(r.Context(), payload.Messages[last].Content, salt)
+		if err != nil {
+			return err
+		}
+		payload.Messages[last].Content = augmented
 		msgs, err := json.Marshal(payload.Messages)
 		if err != nil {
 			return fmt.Errorf("re-encoding messages: %w", err)

@@ -1,6 +1,9 @@
 package pas
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -140,5 +143,133 @@ func TestProxyRejectsGarbageChatBody(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 400 {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// captureUpstream is an upstream that records the exact bytes of each
+// request body, for byte-level passthrough assertions.
+func captureUpstream(t *testing.T) (*httptest.Server, *[][]byte) {
+	t.Helper()
+	var bodies [][]byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("upstream read: %v", err)
+		}
+		bodies = append(bodies, b)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &bodies
+}
+
+// TestProxyPassesThroughNonChatPOSTUnchanged: POST bodies on non-chat
+// paths must reach the upstream byte-for-byte (embeddings, moderations,
+// anything the proxy does not understand).
+func TestProxyPassesThroughNonChatPOSTUnchanged(t *testing.T) {
+	upstream, bodies := captureUpstream(t)
+	proxy, err := NewProxy(testSystem(t).System, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	sent := `{"input":"some text","model":"embed-1"}`
+	resp, err := front.Client().Post(front.URL+"/v1/embeddings", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(*bodies) != 1 || string((*bodies)[0]) != sent {
+		t.Fatalf("upstream saw %q, want untouched %q", *bodies, sent)
+	}
+}
+
+// TestProxyChatWithoutUserMessageUnchanged: a chat request with no user
+// turn anywhere has nothing to augment and must pass through
+// byte-for-byte.
+func TestProxyChatWithoutUserMessageUnchanged(t *testing.T) {
+	upstream, bodies := captureUpstream(t)
+	proxy, err := NewProxy(testSystem(t).System, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	sent := `{"model":"m","messages":[{"role":"system","content":"be terse"},{"role":"assistant","content":"ok"}]}`
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(*bodies) != 1 || string((*bodies)[0]) != sent {
+		t.Fatalf("upstream saw %q, want untouched %q", *bodies, sent)
+	}
+}
+
+// TestProxyAugmentsLastUserTurnEvenMidConversation: when the final
+// message is an assistant turn, the proxy still augments the *last
+// user* turn — the complement attaches to what the user asked, and
+// later assistant turns pass through untouched.
+func TestProxyAugmentsLastUserTurnEvenMidConversation(t *testing.T) {
+	upstream, bodies := captureUpstream(t)
+	sys := testSystem(t).System
+	proxy, err := NewProxy(sys, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	sent := `{"model":"m","messages":[{"role":"user","content":"Explain how tides form."},{"role":"assistant","content":"Gravity."}]}`
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(*bodies) != 1 {
+		t.Fatalf("upstream saw %d bodies", len(*bodies))
+	}
+	var got chatPayload
+	if err := json.Unmarshal((*bodies)[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := sys.Augment("Explain how tides form.", ""); got.Messages[0].Content != want {
+		t.Fatalf("user turn = %q, want augmented %q", got.Messages[0].Content, want)
+	}
+	if got.Messages[1].Content != "Gravity." {
+		t.Fatalf("assistant turn rewritten to %q", got.Messages[1].Content)
+	}
+}
+
+// TestProxyUsesServingCore: a proxy whose system has the serving core
+// enabled serves repeated identical chat requests from the complement
+// cache — one computation, one cache hit, visible in the stats.
+func TestProxyUsesServingCore(t *testing.T) {
+	upstream, _ := captureUpstream(t)
+	sys := NewSystem(testSystem(t).System.model)
+	if err := sys.EnableServing(ServingConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewProxy(sys, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	sent := `{"model":"m","seed":"s7","messages":[{"role":"user","content":"Explain how tides form."}]}`
+	for i := 0; i < 2; i++ {
+		resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json", strings.NewReader(sent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	stats := sys.core.Stats()
+	if stats.Requests != 2 || stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("serving stats = %+v, want 2 requests with 1 cache hit", stats)
 	}
 }

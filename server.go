@@ -1,12 +1,15 @@
 package pas
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/serving"
 )
 
 // AugmentRequest is the body of POST /v1/augment.
@@ -37,21 +40,106 @@ type errorResponse struct {
 // maxPromptBytes bounds request bodies; a prompt this size is abuse.
 const maxPromptBytes = 1 << 20
 
+// ServingConfig sizes the serving core enabled by EnableServing. It
+// mirrors the internal serving package's configuration; zero values
+// select defaults (see the flag docs in cmd/passerve).
+type ServingConfig struct {
+	// CacheSize is the result-cache capacity in entries; negative
+	// disables caching, 0 defaults to 4096.
+	CacheSize int
+	// CacheTTL expires cached complements; 0 keeps them until evicted,
+	// which is sound for a fixed deterministic model.
+	CacheTTL time.Duration
+	// MaxInFlight bounds concurrent complement computations (default 64).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for a computation slot;
+	// 0 sheds immediately when all slots are busy.
+	QueueDepth int
+	// QueueWait is the longest a request waits for a slot (default
+	// 100ms); the request's context deadline tightens it.
+	QueueWait time.Duration
+}
+
+// EnableServing puts the admission-controlled, deduplicating, cached
+// serving core in front of Complement for every context-taking entry
+// point: handleAugment, the reverse proxy, ComplementContext, and
+// AugmentContext. Call it once before serving traffic; the plain
+// Complement and Augment methods stay direct and unlimited.
+func (s *System) EnableServing(cfg ServingConfig) error {
+	core, err := serving.New(s.Complement, serving.Config{
+		CacheSize:   cfg.CacheSize,
+		CacheTTL:    cfg.CacheTTL,
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		QueueWait:   cfg.QueueWait,
+	})
+	if err != nil {
+		return err
+	}
+	s.core = core
+	return nil
+}
+
+// ComplementContext is Complement through the serving core when one is
+// enabled: results are cached, concurrent identical requests share one
+// computation, and overload sheds with an error for which
+// IsOverloaded(err) is true. Without EnableServing it computes
+// directly and never fails.
+func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (string, error) {
+	if s.core == nil {
+		return s.Complement(prompt, salt), nil
+	}
+	return s.core.Do(ctx, prompt, salt, s.BaseModel())
+}
+
+// AugmentContext is Augment through the serving core; see
+// ComplementContext.
+func (s *System) AugmentContext(ctx context.Context, prompt, salt string) (string, error) {
+	c, err := s.ComplementContext(ctx, prompt, salt)
+	if err != nil {
+		return "", err
+	}
+	if c == "" {
+		return prompt, nil
+	}
+	return prompt + "\n" + c, nil
+}
+
+// IsOverloaded reports whether err from a context-taking entry point
+// means the serving core shed the request; callers should answer 503
+// and retry later.
+func IsOverloaded(err error) bool { return serving.Overloaded(err) }
+
 // Handler returns the HTTP handler exposing the system as a
 // plug-and-play service:
 //
 //	POST /v1/augment {"prompt": "..."} -> AugmentResponse
+//	GET  /v1/stats                     -> serving-core snapshot (enabled cores)
 //	GET  /healthz                      -> 200 "ok"
 //
 // The handler is safe for concurrent use.
 func (s *System) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/augment", s.handleAugment)
+	mux.Handle("/v1/stats", s.StatsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// StatsHandler serves the serving core's snapshot as JSON (mount at
+// GET /v1/stats). Without EnableServing it answers 404 so monitoring
+// can tell "core disabled" apart from "all counters zero".
+func (s *System) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.core == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "serving core disabled; start with EnableServing"})
+			return
+		}
+		s.core.StatsHandler().ServeHTTP(w, r)
+	})
 }
 
 func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
@@ -69,13 +157,27 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "prompt is required"})
 		return
 	}
-	c := s.Complement(req.Prompt, req.Salt)
+	c, err := s.ComplementContext(r.Context(), req.Prompt, req.Salt)
+	if err != nil {
+		writeOverloaded(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, AugmentResponse{
 		Prompt:     req.Prompt,
 		Complement: c,
 		Augmented:  req.Prompt + "\n" + c,
 		Model:      s.BaseModel(),
 	})
+}
+
+// writeOverloaded answers a shed (or client-abandoned) request. Loaded
+// sheds carry Retry-After so well-behaved clients back off instead of
+// hammering a saturated core.
+func writeOverloaded(w http.ResponseWriter, err error) {
+	if serving.Overloaded(err) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server overloaded: " + err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -86,10 +188,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	}
 }
 
-// Serve runs the plug-and-play HTTP service on addr until the server
-// fails. It is a convenience for cmd/passerve; libraries should mount
-// Handler on their own server for timeout and shutdown control.
-func (s *System) Serve(addr string) error {
+// ServeContext runs the plug-and-play HTTP service on addr until the
+// server fails or ctx is cancelled, then drains in-flight requests via
+// http.Server.Shutdown (bounded at 10s). It returns nil after a clean
+// shutdown.
+func (s *System) ServeContext(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
@@ -97,5 +200,21 @@ func (s *System) Serve(addr string) error {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// Serve runs the service until the server fails. It is a thin wrapper
+// over ServeContext for cmd/passerve; libraries should mount Handler
+// on their own server for timeout and shutdown control.
+func (s *System) Serve(addr string) error {
+	return s.ServeContext(context.Background(), addr)
 }

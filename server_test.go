@@ -1,0 +1,164 @@
+package pas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// servingSystem builds a fresh System sharing the cached test model,
+// with the serving core enabled; tests that mutate serving state must
+// not share the System other tests use.
+func servingSystem(t *testing.T, cfg ServingConfig) *System {
+	t.Helper()
+	sys := NewSystem(testSystem(t).System.model)
+	if err := sys.EnableServing(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func postAugment(t *testing.T, url, prompt, salt string) AugmentResponse {
+	t.Helper()
+	body, _ := json.Marshal(AugmentRequest{Prompt: prompt, Salt: salt})
+	resp, err := http.Post(url+"/v1/augment", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("augment status = %d", resp.StatusCode)
+	}
+	var out AugmentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServedAugmentMatchesDirectAndCaches: the served hot path must be
+// semantically identical to calling Complement directly, and repeated
+// prompts must be served from cache.
+func TestServedAugmentMatchesDirectAndCaches(t *testing.T) {
+	sys := servingSystem(t, ServingConfig{})
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+
+	first := postAugment(t, srv.URL, "Explain how tides form.", "s1")
+	second := postAugment(t, srv.URL, "Explain how tides form.", "s1")
+	if first != second {
+		t.Fatalf("cached response diverged: %+v vs %+v", first, second)
+	}
+	if want := sys.Complement("Explain how tides form.", "s1"); first.Complement != want {
+		t.Fatalf("served complement %q != direct %q", first.Complement, want)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var stats serving.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 2 || stats.Completed != 2 {
+		t.Fatalf("stats = %+v, want 2 requests completed", stats)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 || stats.CacheHitRatio != 0.5 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", stats)
+	}
+	if stats.LatencyP99Ms < stats.LatencyP50Ms {
+		t.Fatalf("latency quantiles inconsistent: %+v", stats)
+	}
+}
+
+// TestStatsWithoutServingCore: a system without EnableServing reports
+// the core as absent rather than all-zero counters.
+func TestStatsWithoutServingCore(t *testing.T) {
+	sys := NewSystem(testSystem(t).System.model)
+	rec := httptest.NewRecorder()
+	sys.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("stats without core: status = %d, want 404", rec.Code)
+	}
+}
+
+// TestAugmentShedsDisconnectedClient: a request whose client context
+// already ended is answered 503 without computing.
+func TestAugmentShedsDisconnectedClient(t *testing.T) {
+	sys := servingSystem(t, ServingConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, _ := json.Marshal(AugmentRequest{Prompt: "p"})
+	req := httptest.NewRequest("POST", "/v1/augment", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	sys.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+}
+
+// TestWriteOverloadedSetsRetryAfter: shed errors carry Retry-After;
+// client-side errors do not invite a retry.
+func TestWriteOverloadedSetsRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeOverloaded(rec, serving.ErrQueueFull)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("queue-full: code %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	rec = httptest.NewRecorder()
+	writeOverloaded(rec, context.Canceled)
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("client cancellation should not invite a retry")
+	}
+}
+
+// TestContextVariantsWithoutCore: ComplementContext/AugmentContext on a
+// plain system are the direct methods and never fail.
+func TestContextVariantsWithoutCore(t *testing.T) {
+	sys := testSystem(t).System
+	ctx := context.Background()
+	c, err := sys.ComplementContext(ctx, "Explain how tides form.", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sys.Complement("Explain how tides form.", "s"); c != want {
+		t.Fatalf("ComplementContext %q != Complement %q", c, want)
+	}
+	a, err := sys.AugmentContext(ctx, "Explain how tides form.", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sys.Augment("Explain how tides form.", "s"); a != want {
+		t.Fatalf("AugmentContext %q != Augment %q", a, want)
+	}
+}
+
+// TestServeContextShutsDownCleanly: cancelling the context drains the
+// server and returns nil instead of killing the process mid-request.
+func TestServeContextShutsDownCleanly(t *testing.T) {
+	sys := testSystem(t).System
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sys.ServeContext(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond) // let ListenAndServe start
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancel")
+	}
+}
