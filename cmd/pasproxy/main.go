@@ -11,9 +11,15 @@
 //
 // Augmentation runs through the same serving core as cmd/passerve —
 // result cache (-cache-size, -cache-ttl), single-flight dedup, bounded
-// admission queue (-max-inflight, -queue-depth, -queue-wait) — and the
-// core's snapshot is served locally at GET /v1/stats (all other paths
-// forward to the upstream). SIGINT/SIGTERM drain in-flight requests.
+// admission queue (-max-inflight, -queue-depth, -queue-wait) — plus
+// shed-retry (-retries, -retry-budget) behind a circuit breaker
+// (-breaker-threshold, -breaker-cooldown). With -degrade (default on)
+// an augmentation the core still cannot serve is forwarded un-augmented
+// — flagged X-PAS-Degraded and counted in /v1/stats — so a PAS-side
+// failure never turns into a user-visible 5xx; upstream errors, 4xx
+// included, always pass through verbatim. The core's snapshot is served
+// locally at GET /v1/stats (all other paths forward to the upstream).
+// SIGINT/SIGTERM drain in-flight requests.
 package main
 
 import (
@@ -43,6 +49,11 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
 		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
+		retries     = flag.Int("retries", 1, "re-attempts for a shed complement computation (0 disables)")
+		retryBudget = flag.Duration("retry-budget", 500*time.Millisecond, "total time budget for the retry loop, sleeps included")
+		breaker     = flag.Int("breaker-threshold", 8, "consecutive shed computations before the augment breaker opens (0 disables)")
+		cooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "breaker open->half-open window")
+		degrade     = flag.Bool("degrade", true, "fail open: forward the un-augmented prompt instead of answering 503 when augmentation sheds (flagged X-PAS-Degraded)")
 	)
 	flag.Parse()
 
@@ -51,11 +62,16 @@ func main() {
 		log.Fatalf("%v (train one with pastrain)", err)
 	}
 	if err := sys.EnableServing(pas.ServingConfig{
-		CacheSize:   *cacheSize,
-		CacheTTL:    *cacheTTL,
-		MaxInFlight: *maxInflight,
-		QueueDepth:  *queueDepth,
-		QueueWait:   *queueWait,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		MaxInFlight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		QueueWait:        *queueWait,
+		Retries:          *retries,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+		Degrade:          *degrade,
 	}); err != nil {
 		log.Fatal(err)
 	}

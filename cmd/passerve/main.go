@@ -16,8 +16,12 @@
 // result cache (-cache-size, -cache-ttl), single-flight deduplication of
 // concurrent identical prompts, and a bounded admission queue
 // (-max-inflight, -queue-depth, -queue-wait) that sheds overload with
-// 503 + Retry-After. SIGINT/SIGTERM drain in-flight requests before
-// exiting.
+// 503 + Retry-After. Shed computations are retried (-retries,
+// -retry-budget) behind a circuit breaker (-breaker-threshold,
+// -breaker-cooldown), and with -degrade (default on) a request the
+// augmentation path still cannot serve is answered 200 with the raw
+// prompt — flagged X-PAS-Degraded and counted in /v1/stats — instead
+// of a 503. SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
@@ -48,6 +52,11 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
 		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
+		retries     = flag.Int("retries", 1, "re-attempts for a shed complement computation (0 disables)")
+		retryBudget = flag.Duration("retry-budget", 500*time.Millisecond, "total time budget for the retry loop, sleeps included")
+		breaker     = flag.Int("breaker-threshold", 8, "consecutive shed computations before the augment breaker opens (0 disables)")
+		cooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "breaker open->half-open window")
+		degrade     = flag.Bool("degrade", true, "fail open: answer with the un-augmented prompt instead of 503 when augmentation sheds")
 	)
 	flag.Parse()
 
@@ -73,11 +82,16 @@ func main() {
 	}
 
 	if err := sys.EnableServing(pas.ServingConfig{
-		CacheSize:   *cacheSize,
-		CacheTTL:    *cacheTTL,
-		MaxInFlight: *maxInflight,
-		QueueDepth:  *queueDepth,
-		QueueWait:   *queueWait,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		MaxInFlight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		QueueWait:        *queueWait,
+		Retries:          *retries,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+		Degrade:          *degrade,
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -2,13 +2,16 @@ package chatapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/simllm"
 )
 
@@ -18,21 +21,53 @@ type ClientConfig struct {
 	BaseURL string
 	// APIKey is sent as a bearer token; empty means anonymous.
 	APIKey string
-	// MaxRetries bounds retry attempts on 429/5xx responses and
-	// transport errors.
+	// MaxRetries bounds retry attempts on retryable failures (429/5xx
+	// responses and transport errors). Terminal 4xx responses are never
+	// retried.
 	MaxRetries int
-	// Backoff is the base delay between retries (exponential); tests
+	// Backoff is the base delay of the capped full-jitter exponential
+	// between retries; a server Retry-After header overrides it. Tests
 	// set it to ~0.
 	Backoff time.Duration
-	// HTTPClient overrides the transport; nil uses a 30s-timeout client.
+	// MaxBackoff caps a single retry sleep. Default 2s.
+	MaxBackoff time.Duration
+	// RetryBudget bounds the whole call — attempts plus sleeps; 0 means
+	// only the context deadline bounds it.
+	RetryBudget time.Duration
+	// Timeout is the default HTTP client's total per-attempt timeout,
+	// used only when HTTPClient is nil. Default 30s.
+	Timeout time.Duration
+	// AttemptTimeout bounds each attempt via context, independent of
+	// the transport-level Timeout; 0 disables it. Unlike Timeout it
+	// also applies to caller-provided HTTPClients.
+	AttemptTimeout time.Duration
+	// BreakerThreshold, when > 0, puts a circuit breaker in front of
+	// this backend: after that many consecutive failed calls the client
+	// fails fast with resilience.ErrOpen instead of re-dialing a dead
+	// endpoint, probing once per BreakerCooldown window.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open window. Default 5s.
+	BreakerCooldown time.Duration
+	// HedgeAfter, when > 0, races a second identical request once the
+	// first has been in flight that long (adapting upward to the
+	// observed p95). Only enable it against idempotent upstreams:
+	// hedging duplicates requests by design.
+	HedgeAfter time.Duration
+	// HTTPClient overrides the transport; nil uses a client with
+	// Timeout as its total timeout.
 	HTTPClient *http.Client
 }
 
-// Client calls a chat-completions endpoint with bounded retries — the
-// production shim any real PAS deployment needs in front of a public
-// LLM API.
+// Client calls a chat-completions endpoint with bounded, deadline-aware
+// retries — the production shim any real PAS deployment needs in front
+// of a public LLM API.
 type Client struct {
-	cfg ClientConfig
+	cfg     ClientConfig
+	breaker *resilience.Breaker // nil when BreakerThreshold == 0
+	hedger  *resilience.Hedger  // nil when HedgeAfter == 0
+	// sleep is the retry sleeper; tests replace it to observe the
+	// schedule without real waiting.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient validates the configuration.
@@ -44,43 +79,104 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("chatapi: MaxRetries must be >= 0, got %d", cfg.MaxRetries)
 	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("chatapi: Timeout must be >= 0, got %v", cfg.Timeout)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Timeout}
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 200 * time.Millisecond
 	}
-	return &Client{cfg: cfg}, nil
+	c := &Client{cfg: cfg, sleep: resilience.SleepContext}
+	if cfg.BreakerThreshold > 0 {
+		c.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		})
+	}
+	if cfg.HedgeAfter > 0 {
+		c.hedger = &resilience.Hedger{MinDelay: cfg.HedgeAfter}
+	}
+	return c, nil
+}
+
+// BreakerStats reports the backend breaker's snapshot; zero-valued when
+// no breaker is configured.
+func (c *Client) BreakerStats() resilience.BreakerStats {
+	if c.breaker == nil {
+		return resilience.BreakerStats{}
+	}
+	return c.breaker.Stats()
+}
+
+// policy assembles the retry schedule for one call.
+func (c *Client) policy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: c.cfg.MaxRetries + 1,
+		BaseDelay:   c.cfg.Backoff,
+		MaxDelay:    c.cfg.MaxBackoff,
+		Budget:      c.cfg.RetryBudget,
+		Sleep:       c.sleep,
+	}
 }
 
 // ChatCompletion performs one completion request, retrying retryable
-// failures.
+// failures. It is ChatCompletionContext without a deadline.
 func (c *Client) ChatCompletion(req ChatRequest) (ChatResponse, error) {
+	return c.ChatCompletionContext(context.Background(), req)
+}
+
+// ChatCompletionContext performs one completion request under ctx.
+// Retryable failures (transport errors, 5xx) retry with capped
+// full-jitter backoff; overload answers (429/503) wait out the server's
+// Retry-After when it sends one; terminal 4xx answers return
+// immediately. The context deadline bounds the whole retry loop — the
+// client never sleeps into a deadline it cannot make.
+func (c *Client) ChatCompletionContext(ctx context.Context, req ChatRequest) (ChatResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return ChatResponse{}, fmt.Errorf("chatapi: encoding request: %w", err)
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(c.cfg.Backoff << uint(attempt-1))
-		}
-		resp, retryable, err := c.try(body)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		if !retryable {
-			break
+	var done func(bool)
+	if c.breaker != nil {
+		var berr error
+		done, berr = c.breaker.Allow()
+		if berr != nil {
+			return ChatResponse{}, fmt.Errorf("chatapi: backend %s: %w", c.cfg.BaseURL, berr)
 		}
 	}
-	return ChatResponse{}, lastErr
+	resp, err := resilience.DoValue(ctx, c.policy(), func(ctx context.Context) (ChatResponse, error) {
+		return resilience.Hedge(ctx, c.hedger, func(ctx context.Context) (ChatResponse, error) {
+			return c.try(ctx, body)
+		})
+	})
+	if done != nil {
+		// Terminal answers (4xx) mean the backend is up and judging our
+		// request; only transport faults, 5xx, and overload count
+		// against its health.
+		done(err == nil || resilience.Classify(err) == resilience.Terminal)
+	}
+	return resp, err
 }
 
-func (c *Client) try(body []byte) (ChatResponse, bool, error) {
-	httpReq, err := http.NewRequest(http.MethodPost, c.cfg.BaseURL+"/v1/chat/completions", bytes.NewReader(body))
+// try performs a single attempt. Errors come back classified for the
+// retry executor: terminal for 4xx (except 429), overload with the
+// server's Retry-After hint for 429/503, plain retryable for transport
+// faults and other 5xx.
+func (c *Client) try(ctx context.Context, body []byte) (ChatResponse, error) {
+	parent := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/chat/completions", bytes.NewReader(body))
 	if err != nil {
-		return ChatResponse{}, false, fmt.Errorf("chatapi: %w", err)
+		return ChatResponse{}, resilience.AsTerminal(fmt.Errorf("chatapi: %w", err))
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	if c.cfg.APIKey != "" {
@@ -88,29 +184,74 @@ func (c *Client) try(body []byte) (ChatResponse, bool, error) {
 	}
 	resp, err := c.cfg.HTTPClient.Do(httpReq)
 	if err != nil {
-		return ChatResponse{}, true, fmt.Errorf("chatapi: transport: %w", err)
+		if parentErr := parent.Err(); parentErr != nil {
+			// The caller's context ended mid-flight; retrying cannot help.
+			return ChatResponse{}, fmt.Errorf("chatapi: %w", parentErr)
+		}
+		// A per-attempt timeout or transport fault: explicitly
+		// retryable, even though the chain may wrap DeadlineExceeded
+		// (only the attempt's clock ran out, not the caller's).
+		return ChatResponse{}, resilience.AsRetryable(fmt.Errorf("chatapi: transport: %w", err))
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return ChatResponse{}, true, fmt.Errorf("chatapi: reading response: %w", err)
+		if parentErr := parent.Err(); parentErr != nil {
+			return ChatResponse{}, fmt.Errorf("chatapi: %w", parentErr)
+		}
+		return ChatResponse{}, resilience.AsRetryable(fmt.Errorf("chatapi: reading response: %w", err))
 	}
 	if resp.StatusCode != http.StatusOK {
-		retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
-		var e apiError
-		if json.Unmarshal(raw, &e) == nil && e.Error.Message != "" {
-			return ChatResponse{}, retryable, fmt.Errorf("chatapi: %s (%d): %s", e.Error.Type, resp.StatusCode, e.Error.Message)
-		}
-		return ChatResponse{}, retryable, fmt.Errorf("chatapi: status %d", resp.StatusCode)
+		return ChatResponse{}, statusError(resp, raw)
 	}
 	var out ChatResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
-		return ChatResponse{}, false, fmt.Errorf("chatapi: decoding response: %w", err)
+		return ChatResponse{}, resilience.AsTerminal(fmt.Errorf("chatapi: decoding response: %w", err))
 	}
 	if len(out.Choices) == 0 {
-		return ChatResponse{}, false, fmt.Errorf("chatapi: response has no choices")
+		return ChatResponse{}, resilience.AsTerminal(fmt.Errorf("chatapi: response has no choices"))
 	}
-	return out, false, nil
+	return out, nil
+}
+
+// statusError converts a non-200 answer into a classified error.
+func statusError(resp *http.Response, raw []byte) error {
+	status := resp.StatusCode
+	base := fmt.Errorf("chatapi: status %d", status)
+	var e apiError
+	if json.Unmarshal(raw, &e) == nil && e.Error.Message != "" {
+		base = fmt.Errorf("chatapi: %s (%d): %s", e.Error.Type, status, e.Error.Message)
+	}
+	switch {
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		err := resilience.AsOverload(base)
+		if after, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			err = resilience.WithRetryAfter(err, after)
+		}
+		return err
+	case status >= 500:
+		return base // retryable
+	default:
+		return resilience.AsTerminal(base) // 4xx: our request is wrong; repeating won't fix it
+	}
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP
+// date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // Models lists the models the endpoint serves.
@@ -162,11 +303,17 @@ func (r *Remote) Name() string { return r.model }
 
 // Chat implements the simllm chat signature over HTTP.
 func (r *Remote) Chat(messages []simllm.Message, opt simllm.Options) (string, error) {
+	return r.ChatContext(context.Background(), messages, opt)
+}
+
+// ChatContext is Chat under a context: the deadline bounds the whole
+// retry loop and a cancellation aborts the in-flight attempt.
+func (r *Remote) ChatContext(ctx context.Context, messages []simllm.Message, opt simllm.Options) (string, error) {
 	req := ChatRequest{Model: r.model, Temperature: opt.Temperature, Seed: opt.Salt}
 	for _, m := range messages {
 		req.Messages = append(req.Messages, Message{Role: m.Role, Content: m.Content})
 	}
-	resp, err := r.client.ChatCompletion(req)
+	resp, err := r.client.ChatCompletionContext(ctx, req)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryRunsOnce(t *testing.T) {
+	h := &Hedger{MinDelay: 50 * time.Millisecond}
+	var calls int64
+	v, err := Hedge(context.Background(), h, func(ctx context.Context) (string, error) {
+		atomic.AddInt64(&calls, 1)
+		return "fast", nil
+	})
+	if err != nil || v != "fast" {
+		t.Fatalf("got (%q, %v)", v, err)
+	}
+	if n := atomic.LoadInt64(&calls); n != 1 {
+		t.Fatalf("fast primary hedged anyway: %d calls", n)
+	}
+}
+
+func TestHedgeRacesSecondAttemptPastBudget(t *testing.T) {
+	h := &Hedger{MinDelay: 10 * time.Millisecond}
+	var calls int64
+	release := make(chan struct{})
+	defer close(release)
+	v, err := Hedge(context.Background(), h, func(ctx context.Context) (string, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			// Primary: stuck until the test ends (or cancelled by the
+			// hedge winning).
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return "slow", ctx.Err()
+		}
+		return "hedge", nil
+	})
+	if err != nil || v != "hedge" {
+		t.Fatalf("got (%q, %v), want the hedge to win", v, err)
+	}
+	if n := atomic.LoadInt64(&calls); n != 2 {
+		t.Fatalf("calls = %d, want 2", n)
+	}
+}
+
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	h := &Hedger{MinDelay: time.Millisecond}
+	primary := errors.New("primary down")
+	var calls int64
+	_, err := Hedge(context.Background(), h, func(ctx context.Context) (string, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			time.Sleep(20 * time.Millisecond) // let the hedge launch and fail first
+			return "", primary
+		}
+		return "", errors.New("hedge down")
+	})
+	if !errors.Is(err, primary) {
+		t.Fatalf("err = %v, want the primary's error", err)
+	}
+}
+
+func TestHedgeNilHedgerPassesThrough(t *testing.T) {
+	v, err := Hedge(context.Background(), nil, func(ctx context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+}
+
+func TestHedgerDelayTracksPercentile(t *testing.T) {
+	h := &Hedger{Percentile: 0.90, MinDelay: time.Millisecond, MaxDelay: time.Minute}
+	// 100 observations: 1..100ms. p90 ≈ 91ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	d := h.Delay()
+	if d < 85*time.Millisecond || d > 95*time.Millisecond {
+		t.Fatalf("p90 delay = %v, want ≈91ms", d)
+	}
+}
+
+func TestHedgerDelayClamps(t *testing.T) {
+	h := &Hedger{MinDelay: 20 * time.Millisecond, MaxDelay: 30 * time.Millisecond}
+	if d := h.Delay(); d != 20*time.Millisecond {
+		t.Fatalf("cold-start delay = %v, want MinDelay", d)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Second)
+	}
+	if d := h.Delay(); d != 30*time.Millisecond {
+		t.Fatalf("delay = %v, want clamped to MaxDelay", d)
+	}
+	h2 := &Hedger{MinDelay: 20 * time.Millisecond}
+	for i := 0; i < 50; i++ {
+		h2.Observe(time.Microsecond)
+	}
+	if d := h2.Delay(); d != 20*time.Millisecond {
+		t.Fatalf("delay = %v, want floored at MinDelay", d)
+	}
+}

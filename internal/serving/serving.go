@@ -25,14 +25,16 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Func computes the complementary prompt p_c = M_p(p). It must be safe
 // for concurrent use; the PAS model's Complement is.
 type Func func(prompt, salt string) string
 
-// Typed shedding errors; the serving layers above map both to
-// 503 + Retry-After.
+// Typed shedding errors; the serving layers above map all of them to
+// 503 + Retry-After (or to graceful degradation when enabled).
 var (
 	// ErrQueueFull reports that MaxInFlight slots were busy and the
 	// admission queue was already holding QueueDepth waiters.
@@ -41,6 +43,10 @@ var (
 	// wait budget (QueueWait, or less when the context deadline is
 	// nearer).
 	ErrDeadline = errors.New("serving: queue wait budget exhausted")
+	// ErrBreakerOpen reports that the augmentation breaker is open:
+	// recent computations kept shedding, so the core fails fast instead
+	// of queueing more doomed work.
+	ErrBreakerOpen = fmt.Errorf("serving: augmentation breaker open: %w", resilience.ErrOpen)
 )
 
 // Config sizes the serving core. The zero value of any field selects
@@ -65,8 +71,16 @@ type Config struct {
 	// QueueWait is the longest a request waits for a slot before being
 	// shed; the context deadline tightens it per request. Default 100ms.
 	QueueWait time.Duration
-	// Now injects the clock for TTL expiry; tests pin it. Default
-	// time.Now.
+	// BreakerThreshold, when > 0, arms a circuit breaker over the
+	// computation path: after that many consecutive shed computations
+	// the core fails fast with ErrBreakerOpen for BreakerCooldown,
+	// then admits a single probe per half-open window. 0 disables it.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open window. Default 2s when
+	// the breaker is armed.
+	BreakerCooldown time.Duration
+	// Now injects the clock for TTL expiry and breaker cooldowns;
+	// tests pin it. Default time.Now.
 	Now func() time.Time
 }
 
@@ -98,6 +112,15 @@ func (cfg *Config) applyDefaults() error {
 	if cfg.QueueWait < 0 {
 		return fmt.Errorf("serving: QueueWait must be >= 0, got %v", cfg.QueueWait)
 	}
+	if cfg.BreakerThreshold < 0 {
+		return fmt.Errorf("serving: BreakerThreshold must be >= 0, got %d", cfg.BreakerThreshold)
+	}
+	if cfg.BreakerCooldown < 0 {
+		return fmt.Errorf("serving: BreakerCooldown must be >= 0, got %v", cfg.BreakerCooldown)
+	}
+	if cfg.BreakerThreshold > 0 && cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -110,15 +133,18 @@ type Core struct {
 	cfg   Config
 	cache *cache // nil when caching is disabled
 
-	flight flightGroup
-	slots  chan struct{} // counting semaphore, cap MaxInFlight
-	queue  chan struct{} // waiting tokens, cap QueueDepth
+	flight  flightGroup
+	slots   chan struct{}       // counting semaphore, cap MaxInFlight
+	queue   chan struct{}       // waiting tokens, cap QueueDepth
+	breaker *resilience.Breaker // nil when BreakerThreshold == 0
 
 	requests      int64
 	completed     int64
 	dedupHits     int64
 	shedQueueFull int64
 	shedDeadline  int64
+	shedBreaker   int64
+	degraded      int64
 
 	lat *latencyRing
 }
@@ -140,6 +166,13 @@ func New(fn Func, cfg Config) (*Core, error) {
 	}
 	if cfg.CacheSize > 0 {
 		c.cache = newCache(cfg.CacheSize, cfg.CacheShards, cfg.CacheTTL, cfg.Now)
+	}
+	if cfg.BreakerThreshold > 0 {
+		c.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			Now:       cfg.Now,
+		})
 	}
 	return c, nil
 }
@@ -170,14 +203,34 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 		}
 	}
 	v, shared, err := c.flight.do(ctx, k, func() (string, error) {
+		// The breaker guards the leader only: followers share the
+		// leader's outcome, and cache hits never reach this point, so
+		// one failed computation is one recorded failure.
+		var done func(success bool)
+		if c.breaker != nil {
+			var berr error
+			done, berr = c.breaker.Allow()
+			if berr != nil {
+				atomic.AddInt64(&c.shedBreaker, 1)
+				return "", ErrBreakerOpen
+			}
+		}
 		release, err := c.admit(ctx)
 		if err != nil {
+			if done != nil {
+				// Shed computations are the breaker's failure signal; a
+				// cancelled client says nothing about core health.
+				done(!Overloaded(err))
+			}
 			return "", err
 		}
 		defer release()
 		out := c.fn(prompt, salt)
 		if c.cache != nil {
 			c.cache.put(k, out)
+		}
+		if done != nil {
+			done(true)
 		}
 		return out, nil
 	})
@@ -245,8 +298,18 @@ func (c *Core) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// Overloaded reports whether err is one of the core's shedding errors,
-// for which the caller should answer 503 with a Retry-After hint.
+// NoteDegraded records that a caller fell back to the un-augmented
+// prompt after this core failed it — the fail-open counterpart to
+// shedding, surfaced in Stats so degradation is never silent.
+func (c *Core) NoteDegraded() {
+	atomic.AddInt64(&c.degraded, 1)
+}
+
+// Overloaded reports whether err is one of the core's shedding errors
+// (including an open breaker), for which the caller should answer 503
+// with a Retry-After hint — or degrade to the raw prompt when running
+// fail-open.
 func Overloaded(err error) bool {
-	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadline)
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrBreakerOpen)
 }

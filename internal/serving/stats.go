@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 )
 
 // latencyWindow is how many recent request latencies the quantile
@@ -68,11 +69,20 @@ type Stats struct {
 	Requests  int64 `json:"requests"`
 	Completed int64 `json:"completed"`
 
-	// Shed totals the load-shedding outcomes; the two components tell
-	// overload apart from tight deadlines.
+	// Shed totals the load-shedding outcomes; the components tell
+	// overload apart from tight deadlines and a tripped breaker.
 	Shed          int64 `json:"shed"`
 	ShedQueueFull int64 `json:"shed_queue_full"`
 	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedBreaker   int64 `json:"shed_breaker"`
+
+	// Degraded counts requests the layer above served fail-open with
+	// the un-augmented prompt after this core failed them.
+	Degraded int64 `json:"degraded"`
+
+	// Breaker is the augmentation breaker's snapshot; nil when no
+	// breaker is armed.
+	Breaker *resilience.BreakerStats `json:"breaker,omitempty"`
 
 	// DedupHits counts requests served by attaching to another
 	// request's in-flight computation.
@@ -100,9 +110,15 @@ func (c *Core) Stats() Stats {
 		Completed:     atomic.LoadInt64(&c.completed),
 		ShedQueueFull: atomic.LoadInt64(&c.shedQueueFull),
 		ShedDeadline:  atomic.LoadInt64(&c.shedDeadline),
-		DedupHits:     atomic.LoadInt64(&c.dedupHits),
+		ShedBreaker:   atomic.LoadInt64(&c.shedBreaker),
+		Degraded:      atomic.LoadInt64(&c.degraded),
 	}
-	s.Shed = s.ShedQueueFull + s.ShedDeadline
+	s.DedupHits = atomic.LoadInt64(&c.dedupHits)
+	s.Shed = s.ShedQueueFull + s.ShedDeadline + s.ShedBreaker
+	if c.breaker != nil {
+		bs := c.breaker.Stats()
+		s.Breaker = &bs
+	}
 	if c.cache != nil {
 		s.Cache = c.cache.stats()
 		if lookups := s.Cache.Hits + s.Cache.Misses; lookups > 0 {

@@ -51,7 +51,9 @@ func Tokenize(text string) []Token {
 		default:
 			flush()
 			mode = 0
-			tokens = append(tokens, Token(string(r)))
+			// ToLower also covers cased non-letters (circled letters and
+			// similar symbols), keeping every token case-folded.
+			tokens = append(tokens, Token(string(unicode.ToLower(r))))
 		}
 	}
 	flush()

@@ -154,6 +154,22 @@ func TestSignIsUnbiasedEnough(t *testing.T) {
 	}
 }
 
+func TestTokenizeLowercasesCasedSymbols(t *testing.T) {
+	// Circled letters are symbols, not letters, so they take the
+	// punctuation path — which must still case-fold them ('Ⓢ' has a
+	// lowercase mapping even though unicode.IsLetter is false).
+	toks := Tokenize("aⒷc")
+	want := []Token{"a", "ⓑ", "c"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %q, want %q", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %q, want %q", toks, want)
+		}
+	}
+}
+
 func TestTokenizeNeverPanicsAndLowercases(t *testing.T) {
 	f := func(s string) bool {
 		for _, tok := range Tokenize(s) {

@@ -20,12 +20,14 @@
 package pas
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/augment"
 	"repro/internal/curation"
 	"repro/internal/dataset"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/sft"
 	"repro/internal/simllm"
@@ -74,6 +76,13 @@ type System struct {
 	// core, when enabled, is the admission-controlled, deduplicating,
 	// cached hot path behind the HTTP surfaces; see EnableServing.
 	core *serving.Core
+	// degrade fails open: a PAS-side failure serves the raw prompt
+	// instead of an error (ServingConfig.Degrade).
+	degrade bool
+	// retry re-attempts shed complement computations; retries is 0
+	// when disabled (ServingConfig.Retries).
+	retry   resilience.Policy
+	retries int
 }
 
 // NewSystem wraps a fine-tuned PAS model.
@@ -146,10 +155,15 @@ func (s *System) AugmentMessages(messages []simllm.Message, salt string) ([]siml
 type Enhanced struct {
 	// Prompt is the user's original prompt.
 	Prompt string
-	// Complement is p_c.
+	// Complement is p_c; empty when the call degraded.
 	Complement string
 	// Response is r_e = LLM(cat(p, p_c)).
 	Response string
+	// Degraded reports that the augmentation side failed and the main
+	// model was called with the raw prompt instead
+	// (ServingConfig.Degrade) — the plug-and-play guarantee held: the
+	// user still got an answer.
+	Degraded bool
 }
 
 // Chatter is any chat-capable downstream LLM: an in-process simulated
@@ -159,16 +173,67 @@ type Chatter interface {
 	Chat(messages []simllm.Message, opt simllm.Options) (string, error)
 }
 
+// ChatterCtx is a Chatter whose calls honour a context: the deadline
+// bounds retries and a cancellation aborts the in-flight request.
+// chatapi.Remote and resilience.FaultyChatter implement it natively.
+type ChatterCtx interface {
+	Name() string
+	ChatContext(ctx context.Context, messages []simllm.Message, opt simllm.Options) (string, error)
+}
+
+// chatterAdapter lifts a plain Chatter to ChatterCtx. The wrapped call
+// itself cannot be interrupted (the interface has no handle for it),
+// but the context is checked before dialing so an already-dead request
+// is never forwarded.
+type chatterAdapter struct{ Chatter }
+
+func (a chatterAdapter) ChatContext(ctx context.Context, messages []simllm.Message, opt simllm.Options) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return a.Chat(messages, opt)
+}
+
+// AsChatterCtx returns c's context-taking form: c itself when it
+// already implements ChatContext (chatapi.Remote does), an adapter
+// otherwise (*simllm.Model keeps working unchanged).
+func AsChatterCtx(c Chatter) ChatterCtx {
+	if cc, ok := c.(ChatterCtx); ok {
+		return cc
+	}
+	return chatterAdapter{c}
+}
+
 // Enhance runs the full plug-and-play path against a downstream model.
+// It is EnhanceContext without a deadline.
 func (s *System) Enhance(main Chatter, prompt, salt string) (Enhanced, error) {
+	return s.EnhanceContext(context.Background(), main, prompt, salt)
+}
+
+// EnhanceContext runs the full plug-and-play path under ctx: the
+// complement goes through the serving core when one is enabled
+// (cache, dedup, admission, retries, breaker), and with
+// ServingConfig.Degrade a PAS-side failure falls back to the raw
+// prompt — the main-model call always happens, so augmentation can
+// only add value, never availability risk. Main-model errors are the
+// downstream's own and propagate unchanged.
+func (s *System) EnhanceContext(ctx context.Context, main Chatter, prompt, salt string) (Enhanced, error) {
 	if main == nil {
 		return Enhanced{}, fmt.Errorf("pas: nil downstream model")
 	}
-	c := s.Complement(prompt, salt)
-	resp, err := main.Chat([]simllm.Message{{Role: "user", Content: prompt + "\n" + c}},
+	c, degraded, err := s.complementOrDegrade(ctx, prompt, salt)
+	if err != nil {
+		return Enhanced{}, err
+	}
+	content := prompt + "\n" + c
+	if c == "" {
+		content = prompt // degraded or empty complement: raw prompt, no stray newline
+	}
+	resp, err := AsChatterCtx(main).ChatContext(ctx,
+		[]simllm.Message{{Role: "user", Content: content}},
 		simllm.Options{Salt: salt})
 	if err != nil {
 		return Enhanced{}, err
 	}
-	return Enhanced{Prompt: prompt, Complement: c, Response: resp}, nil
+	return Enhanced{Prompt: prompt, Complement: c, Response: resp, Degraded: degraded}, nil
 }

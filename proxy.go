@@ -47,6 +47,16 @@ func NewProxy(system *System, upstreamURL string) (*Proxy, error) {
 			r.Host = u.Host
 		},
 		FlushInterval: 50 * time.Millisecond, // keep SSE streaming live
+		// Only transport-level failures (upstream unreachable, connection
+		// reset) reach this handler; an upstream that answers — any
+		// status, 4xx included — streams back to the client verbatim.
+		// The default handler writes an empty 502; clients of an
+		// OpenAI-style API expect a JSON error envelope.
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprintf(w, `{"error":{"message":%q,"type":"upstream_unreachable"}}`, err.Error())
+		},
 	}
 	return p, nil
 }
@@ -63,17 +73,25 @@ type chatPayload struct {
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/chat/completions") {
-		if err := p.augmentRequest(r); err != nil {
+		degraded, err := p.augmentRequest(r)
+		if err != nil {
 			status := http.StatusBadRequest
 			if IsOverloaded(err) {
-				// The serving core shed the augmentation; tell the
-				// client to retry rather than forwarding un-augmented
-				// traffic (silent degradation would corrupt A/B data).
+				// The serving core shed the augmentation and the system is
+				// running fail-closed (ServingConfig.Degrade off): tell the
+				// client to retry. With Degrade on this path is unreachable
+				// for overload — the fallback already happened inside
+				// AugmentContextDegraded and is flagged below instead.
 				status = http.StatusServiceUnavailable
 				w.Header().Set("Retry-After", "1")
 			}
 			http.Error(w, fmt.Sprintf(`{"error":{"message":%q,"type":"pas_proxy_error"}}`, err.Error()), status)
 			return
+		}
+		if degraded {
+			// Fail-open fallback: the request goes upstream un-augmented.
+			// Never silent — flagged here and counted in /v1/stats.
+			w.Header().Set("X-PAS-Degraded", "1")
 		}
 	}
 	p.rp.ServeHTTP(w, r)
@@ -82,21 +100,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // augmentRequest rewrites the body in place: the last user message gets
 // the complementary prompt appended. All other fields — model, seed,
 // temperature, stream, anything the proxy does not know about — survive
-// byte-for-byte via generic JSON handling.
-func (p *Proxy) augmentRequest(r *http.Request) error {
+// byte-for-byte via generic JSON handling. The degraded result reports
+// that the system fell back to the raw prompt (ServingConfig.Degrade).
+func (p *Proxy) augmentRequest(r *http.Request) (degraded bool, _ error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 	if err != nil {
-		return fmt.Errorf("reading request: %w", err)
+		return false, fmt.Errorf("reading request: %w", err)
 	}
 	r.Body.Close()
 
 	var generic map[string]json.RawMessage
 	if err := json.Unmarshal(body, &generic); err != nil {
-		return fmt.Errorf("invalid JSON: %w", err)
+		return false, fmt.Errorf("invalid JSON: %w", err)
 	}
 	var payload chatPayload
 	if err := json.Unmarshal(body, &payload); err != nil {
-		return fmt.Errorf("invalid chat payload: %w", err)
+		return false, fmt.Errorf("invalid chat payload: %w", err)
 	}
 	last := -1
 	for i := len(payload.Messages) - 1; i >= 0; i-- {
@@ -111,25 +130,27 @@ func (p *Proxy) augmentRequest(r *http.Request) error {
 		if raw, ok := generic["seed"]; ok {
 			salt = string(raw)
 		}
-		// Through the serving core (cache + dedup + admission) when the
-		// system has one; the request context propagates deadlines and
-		// client disconnects into the queue.
-		augmented, err := p.system.AugmentContext(r.Context(), payload.Messages[last].Content, salt)
+		// Through the serving core (cache + dedup + admission + breaker)
+		// when the system has one; the request context propagates
+		// deadlines and client disconnects into the queue. With Degrade
+		// enabled a PAS-side failure leaves the message untouched.
+		augmented, deg, err := p.system.AugmentContextDegraded(r.Context(), payload.Messages[last].Content, salt)
 		if err != nil {
-			return err
+			return false, err
 		}
+		degraded = deg
 		payload.Messages[last].Content = augmented
 		msgs, err := json.Marshal(payload.Messages)
 		if err != nil {
-			return fmt.Errorf("re-encoding messages: %w", err)
+			return false, fmt.Errorf("re-encoding messages: %w", err)
 		}
 		generic["messages"] = msgs
 		if body, err = json.Marshal(generic); err != nil {
-			return fmt.Errorf("re-encoding request: %w", err)
+			return false, fmt.Errorf("re-encoding request: %w", err)
 		}
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))
 	r.Header.Set("Content-Length", fmt.Sprint(len(body)))
-	return nil
+	return degraded, nil
 }

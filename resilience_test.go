@@ -1,0 +1,315 @@
+package pas
+
+// Degradation and fault-injection tests for the public surface: the
+// acceptance bar is that with the augmentation side scripted to fail,
+// the proxy and the augment handler keep answering 200 with the raw
+// prompt (zero PAS-attributable 5xx), and every fallback is visible in
+// /v1/stats and the X-PAS-Degraded header.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serving"
+	"repro/internal/simllm"
+)
+
+// degradedSystem builds a fail-open system whose serving core has one
+// computation slot, no queue, and a complement function that can be
+// parked on demand: send a "block" prompt, receive on entered, and the
+// next real request is guaranteed to shed.
+func degradedSystem(t *testing.T) (sys *System, entered chan struct{}, release chan struct{}) {
+	t.Helper()
+	sys = NewSystem(testSystem(t).System.model)
+	if err := sys.EnableServing(ServingConfig{Degrade: true}); err != nil {
+		t.Fatal(err)
+	}
+	entered = make(chan struct{})
+	release = make(chan struct{})
+	core, err := serving.New(func(prompt, salt string) string {
+		if prompt == "block" {
+			entered <- struct{}{}
+			<-release
+		}
+		return sys.Complement(prompt, salt)
+	}, serving.Config{CacheSize: -1, MaxInFlight: 1, QueueDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.core = core
+	return sys, entered, release
+}
+
+// occupySlot parks the single computation slot and returns the cleanup
+// that releases it and waits for the parked request to finish.
+func occupySlot(t *testing.T, sys *System, entered, release chan struct{}) func() {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sys.ComplementContext(context.Background(), "block", "")
+		done <- err
+	}()
+	<-entered
+	return func() {
+		close(release)
+		if err := <-done; err != nil {
+			t.Errorf("parked request failed: %v", err)
+		}
+	}
+}
+
+// TestProxyDegradesToRawPromptNot503 is the acceptance scenario: the
+// augmentation path is saturated, yet the proxied chat request comes
+// back 200 with the un-augmented prompt forwarded upstream, the
+// response is flagged X-PAS-Degraded, and /v1/stats counts the
+// fallback. No PAS-side failure becomes a user-visible 5xx.
+func TestProxyDegradesToRawPromptNot503(t *testing.T) {
+	sys, entered, release := degradedSystem(t)
+	upstream, bodies := captureUpstream(t)
+	proxy, err := NewProxy(sys, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	free := occupySlot(t, sys, entered, release)
+	defer free()
+
+	const prompt = "Explain how tides form."
+	sent := `{"model":"m","messages":[{"role":"user","content":"` + prompt + `"}]}`
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (augmentation failure must not be user-visible)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-PAS-Degraded"); got != "1" {
+		t.Fatalf("X-PAS-Degraded = %q, want 1 — degradation must never be silent", got)
+	}
+	if len(*bodies) != 1 {
+		t.Fatalf("upstream saw %d bodies, want 1", len(*bodies))
+	}
+	var fwd chatPayload
+	if err := json.Unmarshal((*bodies)[0], &fwd); err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Messages[0].Content != prompt {
+		t.Fatalf("upstream saw %q, want the raw prompt %q", fwd.Messages[0].Content, prompt)
+	}
+	st := sys.core.Stats()
+	if st.Degraded != 1 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats = %+v, want degraded=1 matching shed_queue_full=1", st)
+	}
+}
+
+// TestAugmentHandlerDegrades: same policy on POST /v1/augment — 200,
+// augmented == prompt, degraded flagged in body, header, and stats.
+func TestAugmentHandlerDegrades(t *testing.T) {
+	sys, entered, release := degradedSystem(t)
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+
+	free := occupySlot(t, sys, entered, release)
+	defer free()
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/augment", "application/json",
+		strings.NewReader(`{"prompt":"Explain how tides form."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-PAS-Degraded") != "1" {
+		t.Fatal("missing X-PAS-Degraded header")
+	}
+	var ar AugmentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Degraded || ar.Complement != "" || ar.Augmented != ar.Prompt {
+		t.Fatalf("degraded response = %+v, want augmented == raw prompt", ar)
+	}
+	if got := sys.core.Stats().Degraded; got != 1 {
+		t.Fatalf("stats degraded = %d, want 1", got)
+	}
+}
+
+// TestProxyFailClosedWithoutDegrade: with Degrade off the old contract
+// holds — a shed augmentation is a 503 + Retry-After, not silent
+// un-augmented forwarding.
+func TestProxyFailClosedWithoutDegrade(t *testing.T) {
+	sys, entered, release := degradedSystem(t)
+	sys.degrade = false
+	upstream, bodies := captureUpstream(t)
+	proxy, err := NewProxy(sys, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	free := occupySlot(t, sys, entered, release)
+	defer free()
+
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json",
+		strings.NewReader(`{"model":"m","messages":[{"role":"user","content":"x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 when fail-closed", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+	if len(*bodies) != 0 {
+		t.Fatal("fail-closed request must not reach the upstream")
+	}
+}
+
+// TestProxyPassesUpstream4xxVerbatim: an upstream that answers 400
+// reaches the client as that 400 with its exact body — the proxy never
+// rewrites upstream verdicts into its own 502.
+func TestProxyPassesUpstream4xxVerbatim(t *testing.T) {
+	const body = `{"error":{"message":"model not found","type":"invalid_request_error"}}`
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		io.WriteString(w, body)
+	}))
+	defer upstream.Close()
+	proxy, err := NewProxy(testSystem(t).System, upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	resp, err := front.Client().Post(front.URL+"/v1/chat/completions", "application/json",
+		strings.NewReader(`{"model":"nope","messages":[{"role":"user","content":"x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want upstream's 400 verbatim", resp.StatusCode)
+	}
+	if string(got) != body {
+		t.Fatalf("body = %q, want upstream's %q", got, body)
+	}
+}
+
+// TestProxyUnreachableUpstreamIsJSON502: a transport-level failure (no
+// upstream at all) is the one case the proxy answers itself, and it
+// does so with the JSON error envelope API clients expect.
+func TestProxyUnreachableUpstreamIsJSON502(t *testing.T) {
+	proxy, err := NewProxy(testSystem(t).System, "http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	resp, err := front.Client().Get(front.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	var envelope struct {
+		Error struct {
+			Type string `json:"type"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Type != "upstream_unreachable" {
+		t.Fatalf("body = %q, want JSON envelope with type upstream_unreachable", body)
+	}
+}
+
+// TestEnhanceContextDegrades: the library path mirrors the HTTP one —
+// the downstream model is still called, with the raw prompt, and the
+// result says so.
+func TestEnhanceContextDegrades(t *testing.T) {
+	sys, entered, release := degradedSystem(t)
+	free := occupySlot(t, sys, entered, release)
+	defer free()
+
+	main := simllm.MustModel(simllm.GPT40613)
+	const prompt = "Give me advice on keeping houseplants alive."
+	out, err := sys.EnhanceContext(context.Background(), main, prompt, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || out.Complement != "" {
+		t.Fatalf("out = %+v, want degraded with empty complement", out)
+	}
+	// The degraded response is exactly the raw-prompt response.
+	raw, err := main.Chat([]simllm.Message{{Role: "user", Content: prompt}}, simllm.Options{Salt: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Response != raw {
+		t.Fatalf("degraded response differs from raw-prompt response")
+	}
+	if got := sys.core.Stats().Degraded; got != 1 {
+		t.Fatalf("stats degraded = %d, want 1", got)
+	}
+}
+
+// TestEnhanceMainModelErrorPropagates: degradation covers PAS-side
+// failures only; the downstream model's own errors are the caller's to
+// see, scripted here with a FaultyChatter.
+func TestEnhanceMainModelErrorPropagates(t *testing.T) {
+	sys := testSystem(t).System
+	boom := errors.New("backend down")
+	main := resilience.NewFaultyChatter(simllm.MustModel(simllm.GPT40613), resilience.Fault{Err: boom})
+	if _, err := sys.Enhance(main, "x", "s"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the scripted backend error", err)
+	}
+	// Script exhausted: the next call passes through to the real model.
+	out, err := sys.Enhance(main, "Explain how tides form.", "s")
+	if err != nil || out.Response == "" {
+		t.Fatalf("post-script call = (%+v, %v), want clean passthrough", out, err)
+	}
+	if main.Calls() != 2 {
+		t.Fatalf("calls = %d, want 2", main.Calls())
+	}
+}
+
+// TestEnhanceContextDeadlineCutsFaultDelay: AsChatterCtx must pick the
+// FaultyChatter's native ChatContext, so a scripted 1s stall loses to a
+// 30ms deadline instead of being slept in full.
+func TestEnhanceContextDeadlineCutsFaultDelay(t *testing.T) {
+	sys := testSystem(t).System
+	main := resilience.NewFaultyChatter(simllm.MustModel(simllm.GPT40613), resilience.Fault{Delay: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sys.EnhanceContext(ctx, main, "x", "s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline took %v to cut a scripted 1s stall", elapsed)
+	}
+}

@@ -3,12 +3,14 @@ package pas
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/serving"
 )
 
@@ -30,6 +32,10 @@ type AugmentResponse struct {
 	Augmented string `json:"augmented"`
 	// Model is the PAS base model name.
 	Model string `json:"model"`
+	// Degraded reports that the augmentation path failed and the
+	// service fell back to the raw prompt (ServingConfig.Degrade);
+	// Complement is empty and Augmented equals Prompt.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -58,6 +64,29 @@ type ServingConfig struct {
 	// QueueWait is the longest a request waits for a slot (default
 	// 100ms); the request's context deadline tightens it.
 	QueueWait time.Duration
+	// Retries re-attempts a shed complement computation with
+	// full-jitter backoff before giving up (or degrading); 0 disables
+	// retrying. Open-breaker failures are never retried — the breaker
+	// exists to stop exactly that traffic.
+	Retries int
+	// RetryBudget bounds the whole retry loop, sleeps included.
+	// Default 500ms when Retries > 0.
+	RetryBudget time.Duration
+	// BreakerThreshold arms a circuit breaker over the augmentation
+	// path: after that many consecutive shed computations the core
+	// fails fast for BreakerCooldown, then probes once per half-open
+	// window. 0 disables it.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's open→half-open window (default
+	// 2s when armed).
+	BreakerCooldown time.Duration
+	// Degrade fails open: when the augmentation path sheds, times out,
+	// or is open-circuited, context-taking entry points return the
+	// un-augmented prompt instead of an error. The fallback is counted
+	// in /v1/stats as "degraded" (and flagged X-PAS-Degraded by the
+	// proxy), never silent. Sound for PAS because the complement only
+	// ever adds guidance — the raw prompt is always a valid request.
+	Degrade bool
 }
 
 // EnableServing puts the admission-controlled, deduplicating, cached
@@ -66,43 +95,102 @@ type ServingConfig struct {
 // AugmentContext. Call it once before serving traffic; the plain
 // Complement and Augment methods stay direct and unlimited.
 func (s *System) EnableServing(cfg ServingConfig) error {
+	if cfg.Retries < 0 {
+		return fmt.Errorf("pas: Retries must be >= 0, got %d", cfg.Retries)
+	}
 	core, err := serving.New(s.Complement, serving.Config{
-		CacheSize:   cfg.CacheSize,
-		CacheTTL:    cfg.CacheTTL,
-		MaxInFlight: cfg.MaxInFlight,
-		QueueDepth:  cfg.QueueDepth,
-		QueueWait:   cfg.QueueWait,
+		CacheSize:        cfg.CacheSize,
+		CacheTTL:         cfg.CacheTTL,
+		MaxInFlight:      cfg.MaxInFlight,
+		QueueDepth:       cfg.QueueDepth,
+		QueueWait:        cfg.QueueWait,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
 	})
 	if err != nil {
 		return err
 	}
 	s.core = core
+	s.degrade = cfg.Degrade
+	s.retries = cfg.Retries
+	if cfg.Retries > 0 {
+		budget := cfg.RetryBudget
+		if budget == 0 {
+			budget = 500 * time.Millisecond
+		}
+		s.retry = resilience.Policy{
+			MaxAttempts: cfg.Retries + 1,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+			Budget:      budget,
+		}
+	}
 	return nil
 }
 
 // ComplementContext is Complement through the serving core when one is
 // enabled: results are cached, concurrent identical requests share one
-// computation, and overload sheds with an error for which
+// computation, shed computations are retried per ServingConfig.Retries,
+// and persistent overload fails with an error for which
 // IsOverloaded(err) is true. Without EnableServing it computes
 // directly and never fails.
 func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (string, error) {
 	if s.core == nil {
 		return s.Complement(prompt, salt), nil
 	}
-	return s.core.Do(ctx, prompt, salt, s.BaseModel())
+	do := func(ctx context.Context) (string, error) {
+		v, err := s.core.Do(ctx, prompt, salt, s.BaseModel())
+		if errors.Is(err, serving.ErrBreakerOpen) {
+			// Retrying against an open breaker only burns the backoff
+			// budget; mark it terminal for the retry loop. IsOverloaded
+			// still sees the breaker error through the wrapper.
+			return v, resilience.AsTerminal(err)
+		}
+		return v, err
+	}
+	if s.retries == 0 {
+		return do(ctx)
+	}
+	return resilience.DoValue(ctx, s.retry, do)
+}
+
+// complementOrDegrade runs the complement through the serving layers
+// and applies the fail-open policy: when the PAS side sheds and Degrade
+// is enabled, the caller proceeds with an empty complement (the raw
+// prompt), and the fallback is counted in the core's stats.
+func (s *System) complementOrDegrade(ctx context.Context, prompt, salt string) (complement string, degraded bool, err error) {
+	c, err := s.ComplementContext(ctx, prompt, salt)
+	if err == nil {
+		return c, false, nil
+	}
+	if s.degrade && IsOverloaded(err) {
+		s.core.NoteDegraded()
+		return "", true, nil
+	}
+	return "", false, err
 }
 
 // AugmentContext is Augment through the serving core; see
-// ComplementContext.
+// ComplementContext. With ServingConfig.Degrade enabled, a PAS-side
+// failure returns the un-augmented prompt and a nil error — augmenting
+// is an enhancement, not a dependency.
 func (s *System) AugmentContext(ctx context.Context, prompt, salt string) (string, error) {
-	c, err := s.ComplementContext(ctx, prompt, salt)
+	aug, _, err := s.AugmentContextDegraded(ctx, prompt, salt)
+	return aug, err
+}
+
+// AugmentContextDegraded is AugmentContext plus the degradation
+// verdict, for callers (the proxy, the augment handler) that must
+// surface fail-open fallbacks instead of hiding them.
+func (s *System) AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error) {
+	c, degraded, err := s.complementOrDegrade(ctx, prompt, salt)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	if c == "" {
-		return prompt, nil
+		return prompt, degraded, nil
 	}
-	return prompt + "\n" + c, nil
+	return prompt + "\n" + c, degraded, nil
 }
 
 // IsOverloaded reports whether err from a context-taking entry point
@@ -157,17 +245,23 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "prompt is required"})
 		return
 	}
-	c, err := s.ComplementContext(r.Context(), req.Prompt, req.Salt)
+	c, degraded, err := s.complementOrDegrade(r.Context(), req.Prompt, req.Salt)
 	if err != nil {
 		writeOverloaded(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, AugmentResponse{
+	resp := AugmentResponse{
 		Prompt:     req.Prompt,
 		Complement: c,
 		Augmented:  req.Prompt + "\n" + c,
 		Model:      s.BaseModel(),
-	})
+		Degraded:   degraded,
+	}
+	if degraded {
+		resp.Augmented = req.Prompt
+		w.Header().Set("X-PAS-Degraded", "1")
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeOverloaded answers a shed (or client-abandoned) request. Loaded
