@@ -66,6 +66,6 @@ func (c *Client) Healthy() bool {
 		return false
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse; health is the status code
 	return resp.StatusCode == http.StatusOK
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListShowsEveryRule(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut.String())
+	}
+	for _, rule := range []string{"determinism", "ctxpropagate", "lockheld", "errwrap", "httpbody"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRuleIsOperationalFailure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nosuchrule") {
+		t.Fatalf("stderr = %q, want the bad rule named", errOut.String())
+	}
+}
+
+func TestBadFlagIsOperationalFailure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestLintCleanPackage runs the real pipeline over one small clean
+// package and expects a silent exit 0. This is the driver's end-to-end
+// smoke test; -short skips it because it type-checks stdlib sources.
+func TestLintCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads stdlib sources")
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", root, "-json", "./internal/textkit"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	// -json on a clean run still emits a well-formed (null/empty) array.
+	var diags []json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no findings, got %d", len(diags))
+	}
+}

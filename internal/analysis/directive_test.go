@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in        string
+		directive bool
+		wantErr   bool
+		rules     []string
+		reason    string
+	}{
+		{"//paslint:allow determinism production jitter", true, false, []string{"determinism"}, "production jitter"},
+		{"paslint:allow errwrap,httpbody shared reason", true, false, []string{"errwrap", "httpbody"}, "shared reason"},
+		{"//paslint:allow lockheld   padded   reason  ", true, false, []string{"lockheld"}, "padded   reason"},
+		// Not directives at all.
+		{"// ordinary comment", false, false, nil, ""},
+		{"//nolint:errcheck", false, false, nil, ""},
+		{"/*paslint:allow x y*/", false, false, nil, ""},
+		// Malformed: directive-shaped but unusable.
+		{"//paslint:allow", true, true, nil, ""},
+		{"//paslint:allow determinism", true, true, nil, ""},            // no reason
+		{"//paslint:allow determinism,,errwrap why", true, true, nil, ""}, // empty element
+		{"//paslint:allow Determinism why", true, true, nil, ""},        // case
+		{"//paslint:deny determinism why", true, true, nil, ""},         // unknown verb
+		{"// paslint:allow determinism why", true, true, nil, ""},       // near-miss space
+	}
+	for _, tc := range cases {
+		d, isDirective, err := ParseDirective(tc.in)
+		if isDirective != tc.directive {
+			t.Errorf("%q: directive=%v, want %v", tc.in, isDirective, tc.directive)
+			continue
+		}
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%q: err=%v, wantErr=%v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err != nil || !isDirective {
+			continue
+		}
+		if strings.Join(d.Rules, ",") != strings.Join(tc.rules, ",") {
+			t.Errorf("%q: rules=%v, want %v", tc.in, d.Rules, tc.rules)
+		}
+		if d.Reason != tc.reason {
+			t.Errorf("%q: reason=%q, want %q", tc.in, d.Reason, tc.reason)
+		}
+	}
+}
+
+func TestDirectiveCovers(t *testing.T) {
+	d := Directive{Rules: []string{"determinism"}, Reason: "r", Line: 10}
+	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
+		if got := d.Covers("determinism", line); got != want {
+			t.Errorf("Covers(determinism, %d)=%v, want %v", line, got, want)
+		}
+	}
+	if d.Covers("errwrap", 10) {
+		t.Error("directive covered a rule it does not name")
+	}
+}
+
+// FuzzParseDirective: parsing arbitrary comment text must never panic,
+// and a successful parse must uphold the invariants the runner relies
+// on: non-empty rule list, valid rule names, non-empty reason.
+func FuzzParseDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//paslint:allow determinism production jitter must decorrelate",
+		"//paslint:allow errwrap,httpbody one reason for two rules",
+		"//paslint:allow",
+		"//paslint:allow x",
+		"//paslint:deny y z",
+		"// paslint:allow spaced out",
+		"//paslint:allow a,,b reason",
+		"//paslint:allow A reason",
+		"plain text",
+		"//paslint:",
+		"//paslint:allow \t weird\tws",
+		"/*paslint:allow block comments never count*/",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, isDirective, err := ParseDirective(s)
+		if !isDirective && err != nil {
+			t.Fatalf("non-directive returned error: %q -> %v", s, err)
+		}
+		if isDirective && err == nil {
+			if len(d.Rules) == 0 {
+				t.Fatalf("parsed directive with no rules: %q", s)
+			}
+			for _, r := range d.Rules {
+				if !isRuleName(r) {
+					t.Fatalf("parsed invalid rule name %q from %q", r, s)
+				}
+			}
+			if d.Reason == "" {
+				t.Fatalf("parsed directive with empty reason: %q", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,14 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	old := DeterministicPaths
+	DeterministicPaths = append([]string{"determinism"}, old...)
+	defer func() { DeterministicPaths = old }()
+	analysistest.Run(t, analysistest.Fixture("determinism"), Determinism)
+}

@@ -1,0 +1,14 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrWrap(t *testing.T) {
+	old := ErrWrapPaths
+	ErrWrapPaths = append([]string{"errwrap"}, old...)
+	defer func() { ErrWrapPaths = old }()
+	analysistest.Run(t, analysistest.Fixture("errwrap"), ErrWrap)
+}

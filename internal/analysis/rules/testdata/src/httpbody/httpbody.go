@@ -1,0 +1,100 @@
+// Package httpbody is the fixture for the HTTP hygiene analyzer:
+// unclosed response bodies on the client side, WriteHeader ordering on
+// the server side.
+package httpbody
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// --- rule 1: response bodies --------------------------------------------
+
+func leaks(c *http.Client) (int, error) {
+	resp, err := c.Get("http://example.invalid") // want `response body of resp is never closed`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func closes(c *http.Client) (int, error) {
+	resp, err := c.Get("http://example.invalid")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func closesInline(c *http.Client) error {
+	resp, err := c.Get("http://example.invalid")
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+// clean: the response escapes to the caller, who owns the close.
+func escapesReturn(c *http.Client) (*http.Response, error) {
+	resp, err := c.Get("http://example.invalid")
+	return resp, err
+}
+
+// clean: the response is handed to another function.
+func escapesArg(c *http.Client, sink func(*http.Response)) error {
+	resp, err := c.Get("http://example.invalid")
+	if err != nil {
+		return err
+	}
+	sink(resp)
+	return nil
+}
+
+// suppressed.
+func allowedLeak(c *http.Client) {
+	resp, _ := c.Get("http://example.invalid") //paslint:allow httpbody fixture: process exits immediately after
+	_ = resp
+}
+
+// --- rule 2: WriteHeader ordering ---------------------------------------
+
+func headerAfterWrite(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "hello")
+	w.WriteHeader(http.StatusTeapot) // want `WriteHeader after the response body was written`
+}
+
+func headerAfterEncode(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(map[string]string{"ok": "true"})
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader after the response body was written`
+}
+
+func duplicateHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	w.WriteHeader(http.StatusOK) // want `duplicate WriteHeader`
+}
+
+// clean: status first, then the body.
+func ordered(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write([]byte(`{"ok":true}`))
+}
+
+// clean: exclusive branches each write once.
+func branches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// suppressed.
+func allowedLate(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "partial")
+	w.WriteHeader(http.StatusOK) //paslint:allow httpbody fixture: trailer-style no-op retained for wire compatibility
+}

@@ -1,0 +1,98 @@
+// Package lockheld is the fixture for the lock-discipline analyzer:
+// slow or blocking operations while a sync mutex is held.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+)
+
+type Chatter interface {
+	Chat(prompt string) (string, error)
+}
+
+type service struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	state  string
+	ch     chan string
+	model  Chatter
+	client *http.Client
+}
+
+// --- flagged: upstream call under the lock ------------------------------
+
+func (s *service) chatUnderLock(prompt string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.Chat(prompt) // want `Chatter call Chat while holding s\.mu`
+}
+
+func (s *service) httpUnderLock() (*http.Response, error) {
+	s.mu.Lock()
+	resp, err := s.client.Get("http://example.invalid") // want `HTTP round-trip Get while holding s\.mu`
+	s.mu.Unlock()
+	return resp, err
+}
+
+func (s *service) pkgHTTPUnderRLock() (*http.Response, error) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return http.Get("http://example.invalid") // want `HTTP round-trip http\.Get while holding s\.rw`
+}
+
+func (s *service) sendUnderLock(v string) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *service) selectSendUnderLock(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want `channel send while holding s\.mu`
+	default:
+	}
+}
+
+// --- clean: release before the slow call --------------------------------
+
+func (s *service) snapshotThenChat(prompt string) (string, error) {
+	s.mu.Lock()
+	state := s.state
+	s.mu.Unlock()
+	return s.model.Chat(prompt + state)
+}
+
+// clean: branch that unlocks before calling.
+func (s *service) unlockInBranch(prompt string, cached bool) (string, error) {
+	s.mu.Lock()
+	if cached {
+		v := s.state
+		s.mu.Unlock()
+		_, err := s.model.Chat(v)
+		return v, err
+	}
+	s.mu.Unlock()
+	return s.model.Chat(prompt)
+}
+
+// clean: the goroutine body runs outside the critical section.
+func (s *service) goUnderLock(prompt string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_, _ = s.model.Chat(prompt)
+		s.ch <- prompt
+	}()
+	s.state = prompt
+}
+
+// --- suppressed ---------------------------------------------------------
+
+func (s *service) allowedSend(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //paslint:allow lockheld fixture: buffered handoff channel, send cannot block
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run applies every analyzer to every package, filters findings through
+// //paslint:allow directives, and returns the surviving diagnostics
+// sorted by position. Malformed directives are themselves findings
+// (rule "paslint") and cannot be suppressed — a suppression the author
+// believes is active but is not would otherwise rot silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				Module:   pkg.Module,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range diags {
+			if !suppressed(pkg.directives, d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, pkg.badDirs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out, nil
+}
+
+func suppressed(ds []Directive, d Diagnostic) bool {
+	for _, dir := range ds {
+		if dir.Covers(d.Rule, d.Pos.Line) {
+			return true
+		}
+	}
+	return false
+}

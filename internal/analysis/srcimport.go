@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"runtime"
+)
+
+// SourceImporter type-checks standard-library packages from their
+// GOROOT sources. It exists because the module must stay
+// dependency-free: the canonical loaders (go/packages, x/tools'
+// srcimporter) are off the table, and importer.Default needs compiled
+// export data the toolchain no longer ships for the standard library.
+//
+// Function bodies are skipped (types.Config.IgnoreFuncBodies): the
+// analyzers only need the standard library's API surface, and skipping
+// bodies cuts the load time of a net/http-sized closure by an order of
+// magnitude. Soft type errors that follow from skipped bodies (notably
+// "imported and not used" for imports referenced only inside bodies)
+// are swallowed; module packages are checked strictly by the Loader,
+// not here.
+//
+// A SourceImporter is not safe for concurrent use: imports recurse
+// through the same instance.
+type SourceImporter struct {
+	fset *token.FileSet
+	ctxt build.Context
+	pkgs map[string]*types.Package // keyed by vendor-resolved import path
+	busy map[string]bool           // cycle guard (never fires on a healthy GOROOT)
+}
+
+// NewSourceImporter creates an importer sharing fset with its caller so
+// positions in imported packages stay meaningful. Cgo is disabled: the
+// pure-Go fallback files are the ones a type-checker can read, and every
+// stdlib package the module touches has them.
+func NewSourceImporter(fset *token.FileSet) *SourceImporter {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &SourceImporter{
+		fset: fset,
+		ctxt: ctxt,
+		pkgs: make(map[string]*types.Package),
+		busy: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (si *SourceImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom. srcDir is the directory of
+// the importing file; it drives GOROOT vendor resolution (net/http's
+// golang.org/x/net/... imports live under GOROOT/src/vendor).
+func (si *SourceImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	bp, err := si.ctxt.Import(path, srcDir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: locating %q (from %s): %w", path, srcDir, err)
+	}
+	if pkg, ok := si.pkgs[bp.ImportPath]; ok {
+		return pkg, nil
+	}
+	if si.busy[bp.ImportPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", bp.ImportPath)
+	}
+	si.busy[bp.ImportPath] = true
+	defer delete(si.busy, bp.ImportPath)
+
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(si.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Join(bp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         si,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		// Swallow soft errors: with bodies skipped, imports used only in
+		// bodies look unused. The package's API surface still checks out.
+		Error: func(error) {},
+	}
+	pkg, _ := conf.Check(bp.ImportPath, si.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %q produced no package", bp.ImportPath)
+	}
+	pkg.MarkComplete()
+	si.pkgs[bp.ImportPath] = pkg
+	return pkg, nil
+}

@@ -239,7 +239,10 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	content, err := m.Chat(msgs, simllm.Options{Temperature: req.Temperature, Salt: req.Seed})
+	if err := r.Context().Err(); err != nil {
+		return // client already gone; don't burn the simulation
+	}
+	content, err := m.Chat(msgs, simllm.Options{Temperature: req.Temperature, Salt: req.Seed}) //paslint:allow ctxpropagate the simulated model computes synchronously in-process; liveness is checked above
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, newAPIError(err.Error(), "invalid_request_error"))
 		return

@@ -72,12 +72,17 @@ func Generate(cfg Config) ([]Prompt, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("corpus: size must be positive, got %d", cfg.Size)
 	}
-	for name, r := range map[string]float64{
-		"DuplicateRate": cfg.DuplicateRate, "JunkRate": cfg.JunkRate,
-		"TrapRate": cfg.TrapRate, "CategoryBias": cfg.CategoryBias,
+	// Ordered, not a map: with several rates out of range the error must
+	// name the same one every run.
+	for _, rate := range []struct {
+		name string
+		r    float64
+	}{
+		{"DuplicateRate", cfg.DuplicateRate}, {"JunkRate", cfg.JunkRate},
+		{"TrapRate", cfg.TrapRate}, {"CategoryBias", cfg.CategoryBias},
 	} {
-		if r < 0 || r > 1 {
-			return nil, fmt.Errorf("corpus: %s must be in [0,1], got %v", name, r)
+		if rate.r < 0 || rate.r > 1 {
+			return nil, fmt.Errorf("corpus: %s must be in [0,1], got %v", rate.name, rate.r)
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))

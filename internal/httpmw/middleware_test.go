@@ -3,11 +3,13 @@ package httpmw
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -199,6 +201,161 @@ func TestMetricsHandlerServesJSON(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), `"/a"`) {
 		t.Fatalf("metrics body = %s", rec.Body.String())
+	}
+}
+
+// TestConcurrencyLimitRetryAfterEnvelope pins the shed response's exact
+// shape: Retry-After must be a positive integer number of seconds
+// (clients do arithmetic on it) and the body must be the standard
+// {"error": ...} envelope with nothing trailing it.
+func TestConcurrencyLimitRetryAfterEnvelope(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+	})
+	h := Chain(slow, ConcurrencyLimit(1))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := srv.Client().Get(srv.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want positive integer seconds", resp.Header.Get("Retry-After"))
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&envelope); err != nil {
+		t.Fatalf("shed body is not the JSON envelope: %v", err)
+	}
+	if envelope.Error == "" {
+		t.Fatal("envelope has empty error message")
+	}
+	if dec.More() {
+		t.Fatal("trailing data after the error envelope")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestStatusRecorderOrdering covers the three WriteHeader/Write
+// interleavings the logging and metrics layers depend on.
+func TestStatusRecorderOrdering(t *testing.T) {
+	// Explicit status before the body: recorded verbatim.
+	inner := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: inner}
+	sr.WriteHeader(http.StatusNotFound)
+	n, err := sr.Write([]byte("nope"))
+	if err != nil || n != 4 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if sr.statusOr200() != http.StatusNotFound || inner.Code != http.StatusNotFound {
+		t.Fatalf("status = %d (inner %d), want 404", sr.statusOr200(), inner.Code)
+	}
+	if sr.bytes != 4 {
+		t.Fatalf("bytes = %d, want 4", sr.bytes)
+	}
+
+	// Body first: the implicit 200 commit is recorded.
+	sr2 := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
+	sr2.Write([]byte("x"))
+	if sr2.status != http.StatusOK {
+		t.Fatalf("implicit status = %d, want 200", sr2.status)
+	}
+
+	// Handler never wrote anything: statusOr200 reports 200 without
+	// mutating the recorder (net/http sends 200 on its own).
+	sr3 := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
+	if sr3.statusOr200() != http.StatusOK {
+		t.Fatalf("statusOr200 = %d", sr3.statusOr200())
+	}
+	if sr3.status != 0 {
+		t.Fatal("statusOr200 mutated the recorder")
+	}
+}
+
+// TestLoggingRecordsExplicitStatus: a handler that sets its own status
+// must show that status in the access line, not 200.
+func TestLoggingRecordsExplicitStatus(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}), Logging(logger))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/teapot", nil))
+	if !strings.Contains(buf.String(), "418") {
+		t.Fatalf("access line = %q, want explicit 418", buf.String())
+	}
+}
+
+// TestMetricsCountLimiterSheds: when Metrics wraps the limiter, a shed
+// 503 is a request AND an error — capacity rejections must not be
+// invisible in /metricsz.
+func TestMetricsCountLimiterSheds(t *testing.T) {
+	m := NewMetrics()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+	})
+	h := Chain(slow, m.Middleware(), ConcurrencyLimit(1))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := srv.Client().Get(srv.URL + "/a")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	resp, err := srv.Client().Get(srv.URL + "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+
+	snap := m.Snapshot()["/a"]
+	if snap.Requests != 2 {
+		t.Fatalf("requests = %d, want 2 (one served, one shed)", snap.Requests)
+	}
+	if snap.Errors != 1 {
+		t.Fatalf("errors = %d, want the shed 503 counted", snap.Errors)
 	}
 }
 

@@ -101,5 +101,5 @@ func (f *FaultyChatter) ChatContext(ctx context.Context, messages []simllm.Messa
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	return f.inner.Chat(messages, opt)
+	return f.inner.Chat(messages, opt) //paslint:allow ctxpropagate inner is a plain Chatter by design; liveness was checked above and scripted delays already honored ctx
 }

@@ -61,14 +61,28 @@ func (p Policy) withDefaults() Policy {
 // jitterMu serializes the shared default jitter source; Policies built
 // by concurrent goroutines share it.
 var (
-	jitterMu  sync.Mutex
-	jitterSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+	jitterMu sync.Mutex
+	// The production default wants unpredictable jitter so a fleet of
+	// clients retrying the same outage decorrelates; tests that need a
+	// reproducible schedule call SeedJitter or pin Policy.Rand.
+	jitterSrc = rand.New(rand.NewSource(time.Now().UnixNano())) //paslint:allow determinism production jitter must decorrelate across processes; tests inject SeedJitter or Policy.Rand
 )
 
 func jitterRand() float64 {
 	jitterMu.Lock()
 	defer jitterMu.Unlock()
 	return jitterSrc.Float64()
+}
+
+// SeedJitter replaces the shared jitter source with one seeded
+// deterministically, making every Policy that uses the default Rand
+// reproducible. It is the test hook for code paths that build Policies
+// internally (chatapi.Client, serving.Core) where Policy.Rand cannot be
+// injected from outside.
+func SeedJitter(seed int64) {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	jitterSrc = rand.New(rand.NewSource(seed))
 }
 
 // SleepContext waits d or until ctx ends, whichever is first.

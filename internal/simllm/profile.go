@@ -45,11 +45,16 @@ func (p Profile) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("simllm: profile has empty name")
 	}
-	for name, v := range map[string]float64{
-		"Quality": p.Quality, "Obedience": p.Obedience, "TrapResistance": p.TrapResistance,
+	// Ordered, not a map: with several fields out of range the error
+	// must name the same one every run.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Quality", p.Quality}, {"Obedience", p.Obedience}, {"TrapResistance", p.TrapResistance},
 	} {
-		if v < 0 || v > 1 {
-			return fmt.Errorf("simllm: profile %s: %s must be in [0,1], got %v", p.Name, name, v)
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("simllm: profile %s: %s must be in [0,1], got %v", p.Name, f.name, f.v)
 		}
 	}
 	if p.Verbosity <= 0 {

@@ -107,7 +107,7 @@ func (p *Proxy) augmentRequest(r *http.Request) (degraded bool, _ error) {
 	if err != nil {
 		return false, fmt.Errorf("reading request: %w", err)
 	}
-	r.Body.Close()
+	_ = r.Body.Close() // request body: nothing actionable on close failure
 
 	var generic map[string]json.RawMessage
 	if err := json.Unmarshal(body, &generic); err != nil {

@@ -300,7 +300,10 @@ func (s *System) ServeContext(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// The parent context is already cancelled; detach from its
+		// cancellation (keeping its values) so shutdown still gets its
+		// drain window instead of aborting immediately.
+		shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
