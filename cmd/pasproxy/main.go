@@ -34,6 +34,8 @@ import (
 
 	pas "repro"
 	"repro/internal/httpmw"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -54,6 +56,8 @@ func main() {
 		breaker     = flag.Int("breaker-threshold", 8, "consecutive shed computations before the augment breaker opens (0 disables)")
 		cooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "breaker open->half-open window")
 		degrade     = flag.Bool("degrade", true, "fail open: forward the un-augmented prompt instead of answering 503 when augmentation sheds (flagged X-PAS-Degraded)")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for pprof, /debug/traces and /metricsz (empty disables)")
+		traceSample = flag.Int("trace-sample", 1, "head-sample 1 in N traces; errored and slow traces are always kept (negative keeps only those)")
 	)
 	flag.Parse()
 
@@ -80,22 +84,38 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TraceConfig{SampleEvery: *traceSample})
 	metrics := httpmw.NewMetrics()
+	metrics.Register(reg)
+	sys.RegisterMetrics(reg)
+	resilience.RegisterMetrics(reg)
+
 	logger := log.New(os.Stderr, "pasproxy: ", 0)
 	mux := http.NewServeMux()
 	mux.Handle("/", httpmw.Chain(proxy,
 		httpmw.Recover(logger),
 		httpmw.RequestID(),
+		httpmw.Trace(tracer, "pasproxy"),
 		httpmw.Logging(logger),
 		metrics.Middleware(),
 	))
 	// Served locally, not proxied: the serving-core snapshot and the
-	// HTTP-layer metrics.
+	// unified metrics (Prometheus text; ?format=json for the old shape).
 	mux.Handle("/v1/stats", sys.StatsHandler())
-	mux.Handle("/metricsz", metrics.Handler())
+	mux.Handle("/metricsz", reg.HandlerWithJSON(metrics.Handler()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		log.Printf("debug endpoints (pprof, /debug/traces, /metricsz) on %s", *debugAddr)
+		go func() {
+			if err := obs.ServeDebug(ctx, *debugAddr, obs.DebugMux(reg, tracer, metrics.Handler())); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("augmenting traffic to %s on %s (PAS base %s)", *upstream, *addr, sys.BaseModel())
 	srv := &http.Server{

@@ -36,6 +36,8 @@ import (
 
 	pas "repro"
 	"repro/internal/httpmw"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 		breaker     = flag.Int("breaker-threshold", 8, "consecutive shed computations before the augment breaker opens (0 disables)")
 		cooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "breaker open->half-open window")
 		degrade     = flag.Bool("degrade", true, "fail open: answer with the un-augmented prompt instead of 503 when augmentation sheds")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for pprof, /debug/traces and /metricsz (empty disables)")
+		traceSample = flag.Int("trace-sample", 1, "head-sample 1 in N traces; errored and slow traces are always kept (negative keeps only those)")
 	)
 	flag.Parse()
 
@@ -96,20 +100,36 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TraceConfig{SampleEvery: *traceSample})
 	metrics := httpmw.NewMetrics()
+	metrics.Register(reg)
+	sys.RegisterMetrics(reg)
+	resilience.RegisterMetrics(reg)
+
 	logger := log.New(os.Stderr, "passerve: ", 0)
 	mux := http.NewServeMux()
 	mux.Handle("/", httpmw.Chain(sys.Handler(),
 		httpmw.Recover(logger),
 		httpmw.RequestID(),
+		httpmw.Trace(tracer, "passerve"),
 		httpmw.Logging(logger),
 		httpmw.ConcurrencyLimit(*concurrency),
 		metrics.Middleware(),
 	))
-	mux.Handle("/metricsz", metrics.Handler())
+	mux.Handle("/metricsz", reg.HandlerWithJSON(metrics.Handler()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		log.Printf("debug endpoints (pprof, /debug/traces, /metricsz) on %s", *debugAddr)
+		go func() {
+			if err := obs.ServeDebug(ctx, *debugAddr, obs.DebugMux(reg, tracer, metrics.Handler())); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("serving PAS (base %s) on %s", sys.BaseModel(), *addr)
 	srv := &http.Server{

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/simllm"
 )
@@ -113,6 +114,29 @@ func (c *Client) BreakerStats() resilience.BreakerStats {
 	return c.breaker.Stats()
 }
 
+// RegisterMetrics exposes the client's backend-breaker counters on reg
+// under the pas_chatapi_ namespace, read at scrape time. Without a
+// breaker it registers nothing.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	if c.breaker == nil {
+		return
+	}
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		s := c.breaker.Stats()
+		state := 0.0
+		switch s.State {
+		case "half-open":
+			state = 1
+		case "open":
+			state = 2
+		}
+		e.Gauge("pas_chatapi_breaker_state", "Backend breaker state (0 closed, 1 half-open, 2 open).", state)
+		e.Counter("pas_chatapi_breaker_failures_total", "Failed backend calls recorded by the breaker.", float64(s.Failures))
+		e.Counter("pas_chatapi_breaker_opens_total", "Times the backend breaker opened.", float64(s.Opens))
+		e.Counter("pas_chatapi_breaker_rejections_total", "Calls rejected by the open breaker.", float64(s.Rejections))
+	})
+}
+
 // policy assembles the retry schedule for one call.
 func (c *Client) policy() resilience.Policy {
 	return resilience.Policy{
@@ -141,12 +165,17 @@ func (c *Client) ChatCompletionContext(ctx context.Context, req ChatRequest) (Ch
 	if err != nil {
 		return ChatResponse{}, fmt.Errorf("chatapi: encoding request: %w", err)
 	}
+	ctx, span := obs.StartSpan(ctx, "chatapi.chat_completion")
+	defer span.End()
+	span.SetAttr("model", req.Model)
 	var done func(bool)
 	if c.breaker != nil {
 		var berr error
 		done, berr = c.breaker.Allow()
 		if berr != nil {
-			return ChatResponse{}, fmt.Errorf("chatapi: backend %s: %w", c.cfg.BaseURL, berr)
+			err := fmt.Errorf("chatapi: backend %s: %w", c.cfg.BaseURL, berr)
+			span.SetError(err)
+			return ChatResponse{}, err
 		}
 	}
 	resp, err := resilience.DoValue(ctx, c.policy(), func(ctx context.Context) (ChatResponse, error) {
@@ -159,6 +188,9 @@ func (c *Client) ChatCompletionContext(ctx context.Context, req ChatRequest) (Ch
 		// request; only transport faults, 5xx, and overload count
 		// against its health.
 		done(err == nil || resilience.Classify(err) == resilience.Terminal)
+	}
+	if err != nil {
+		span.SetError(err)
 	}
 	return resp, err
 }
@@ -182,6 +214,9 @@ func (c *Client) try(ctx context.Context, body []byte) (ChatResponse, error) {
 	if c.cfg.APIKey != "" {
 		httpReq.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
 	}
+	// Propagate the trace so the backend's spans join this request's
+	// trace instead of starting fresh roots.
+	obs.Inject(ctx, httpReq.Header)
 	resp, err := c.cfg.HTTPClient.Do(httpReq)
 	if err != nil {
 		if parentErr := parent.Err(); parentErr != nil {

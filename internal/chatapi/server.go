@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simllm"
 	"repro/internal/tokenizer"
 )
@@ -152,6 +153,21 @@ func (s *Server) CacheStats() (hits, misses int64) {
 	return s.cache.stats()
 }
 
+// RegisterMetrics exposes the server's response-cache counters and
+// model count on reg under the pas_chatllm_ namespace, read at scrape
+// time.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		hits, misses := s.CacheStats()
+		e.Counter("pas_chatllm_cache_hits_total", "Response-cache hits.", float64(hits))
+		e.Counter("pas_chatllm_cache_misses_total", "Response-cache misses.", float64(misses))
+		if s.cache != nil {
+			e.Gauge("pas_chatllm_cache_entries", "Response-cache entries resident.", float64(s.cache.len()))
+		}
+		e.Gauge("pas_chatllm_models", "Models served.", float64(len(s.models)))
+	})
+}
+
 // Handler returns the HTTP handler:
 //
 //	POST /v1/chat/completions
@@ -235,14 +251,19 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil && !req.Stream {
 		cacheKey = fmt.Sprintf("%s\x00%v\x00%s\x00%s", req.Model, req.Temperature, req.Seed, promptText.String())
 		if cached, ok := s.cache.get(cacheKey); ok {
+			obs.AddEvent(r.Context(), "chatllm.cache", "verdict", "hit")
 			writeJSON(w, http.StatusOK, cached)
 			return
 		}
+		obs.AddEvent(r.Context(), "chatllm.cache", "verdict", "miss")
 	}
 	if err := r.Context().Err(); err != nil {
 		return // client already gone; don't burn the simulation
 	}
+	_, genSpan := obs.StartSpan(r.Context(), "chatllm.generate")
+	genSpan.SetAttr("model", req.Model)
 	content, err := m.Chat(msgs, simllm.Options{Temperature: req.Temperature, Salt: req.Seed}) //paslint:allow ctxpropagate the simulated model computes synchronously in-process; liveness is checked above
+	genSpan.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, newAPIError(err.Error(), "invalid_request_error"))
 		return

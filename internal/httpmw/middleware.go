@@ -1,8 +1,8 @@
 // Package httpmw provides the HTTP middleware the PAS services
-// (cmd/passerve, cmd/pasllm) run behind: panic recovery, request ids,
-// structured access logging, a concurrency limiter, and in-process
-// request metrics with a /metricsz endpoint. It is the small operational
-// layer that turns a handler into a service.
+// (cmd/passerve, cmd/pasproxy, cmd/pasllm) run behind: panic recovery,
+// request ids, distributed-trace roots, structured access logging, a
+// concurrency limiter, and in-process request metrics. It is the small
+// operational layer that turns a handler into a service.
 package httpmw
 
 import (
@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Chain applies middlewares right-to-left: the first listed is outermost.
@@ -44,6 +46,11 @@ func Recover(logger *log.Logger) func(http.Handler) http.Handler {
 // requestIDHeader carries the per-request id.
 const requestIDHeader = "X-Request-Id"
 
+// degradedHeader is the flag the serving layer sets on fail-open
+// responses; the access log surfaces it so degradation is visible per
+// request, not just in aggregate stats.
+const degradedHeader = "X-PAS-Degraded"
+
 // RequestID assigns a monotonically increasing request id when the
 // client did not send one, and echoes it on the response.
 func RequestID() func(http.Handler) http.Handler {
@@ -61,56 +68,93 @@ func RequestID() func(http.Handler) http.Handler {
 	}
 }
 
-// statusRecorder captures the response status for logging and metrics.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (sr *statusRecorder) WriteHeader(code int) {
-	sr.status = code
-	sr.ResponseWriter.WriteHeader(code)
-}
-
-func (sr *statusRecorder) Write(p []byte) (int, error) {
-	if sr.status == 0 {
-		sr.status = http.StatusOK
-	}
-	n, err := sr.ResponseWriter.Write(p)
-	sr.bytes += n
-	return n, err
-}
-
-// Flush forwards flushing so SSE streaming keeps working through the
-// middleware stack.
-func (sr *statusRecorder) Flush() {
-	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// Logging writes one access-log line per request.
-func Logging(logger *log.Logger) func(http.Handler) http.Handler {
+// Trace starts the request's root span: a continuation of the
+// traceparent the client sent when it is well-formed, a fresh trace
+// otherwise (a malformed header is never inherited). The span context
+// rides r.Context() so handler code can hang child spans off it with
+// obs.StartSpan, and the access log can stamp lines with the trace id.
+// Responses echo the trace id in a traceparent header so callers can
+// correlate. A nil tracer disables tracing with zero per-request cost.
+func Trace(tracer *obs.Tracer, service string) func(http.Handler) http.Handler {
 	return func(next http.Handler) http.Handler {
+		if tracer == nil {
+			return next
+		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			start := time.Now()
-			rec := &statusRecorder{ResponseWriter: w}
-			next.ServeHTTP(rec, r)
-			if logger != nil {
-				logger.Printf("%s %s %s -> %d %dB in %s",
-					r.Header.Get(requestIDHeader), r.Method, r.URL.Path,
-					rec.statusOr200(), rec.bytes, time.Since(start).Round(time.Microsecond))
+			ctx := r.Context()
+			if remote, ok := obs.Extract(r.Header); ok {
+				ctx = obs.ContextWithRemote(ctx, remote)
 			}
+			ctx, span := tracer.StartSpan(ctx, service+" "+r.Method+" "+r.URL.Path)
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("http.path", r.URL.Path)
+			span.SetAttr("request.id", r.Header.Get(requestIDHeader))
+			obs.Inject(ctx, w.Header())
+
+			rec := obs.WrapResponseWriter(w)
+			next.ServeHTTP(rec, r.WithContext(ctx))
+
+			status := rec.StatusOr200()
+			span.SetAttrInt("http.status", int64(status))
+			if rec.Header().Get(degradedHeader) == "1" {
+				span.SetStatus("degraded")
+			}
+			if status >= 500 {
+				span.SetError(fmt.Errorf("http status %d", status))
+			}
+			span.End()
 		})
 	}
 }
 
-func (sr *statusRecorder) statusOr200() int {
-	if sr.status == 0 {
-		return http.StatusOK
+// accessLine is one structured access-log record, written as a single
+// JSON line so log pipelines can parse fields instead of regexes.
+type accessLine struct {
+	RequestID string  `json:"req_id"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Bytes     int     `json:"bytes"`
+	DurMs     float64 `json:"dur_ms"`
+	Shed      bool    `json:"shed,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+}
+
+// Logging writes one JSON access-log line per request: request id,
+// trace id, status, latency, and the shed/degraded flags that make
+// backpressure and fail-open visible per request.
+func Logging(logger *log.Logger) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			rec := obs.WrapResponseWriter(w)
+			next.ServeHTTP(rec, r)
+			if logger == nil {
+				return
+			}
+			status := rec.StatusOr200()
+			line := accessLine{
+				RequestID: r.Header.Get(requestIDHeader),
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Status:    status,
+				Bytes:     rec.BytesWritten(),
+				DurMs:     float64(time.Since(start).Microseconds()) / 1000,
+				Shed:      status == http.StatusServiceUnavailable,
+				Degraded:  rec.Header().Get(degradedHeader) == "1",
+			}
+			if sc := obs.SpanContextFromContext(r.Context()); sc.Valid() {
+				line.TraceID = sc.TraceID.String()
+			}
+			b, err := json.Marshal(line)
+			if err != nil {
+				logger.Printf("httpmw: marshaling access line: %v", err)
+				return
+			}
+			logger.Printf("%s", b)
+		})
 	}
-	return sr.status
 }
 
 // ConcurrencyLimit rejects requests beyond n in flight with 503 and a
@@ -134,6 +178,7 @@ func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
 				next.ServeHTTP(w, r)
 			default:
 				w.Header().Set("Retry-After", "1")
+				obs.AddEvent(r.Context(), "limiter.shed")
 				writeJSONError(w, http.StatusServiceUnavailable, "server overloaded")
 			}
 		})
@@ -173,9 +218,9 @@ func (m *Metrics) Middleware() func(http.Handler) http.Handler {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			rec := &statusRecorder{ResponseWriter: w}
+			rec := obs.WrapResponseWriter(w)
 			next.ServeHTTP(rec, r)
-			m.observe(r.URL.Path, rec.statusOr200(), time.Since(start))
+			m.observe(r.URL.Path, rec.StatusOr200(), time.Since(start))
 		})
 	}
 }
@@ -205,6 +250,24 @@ func (m *Metrics) Snapshot() map[string]pathStats {
 		out[p] = *s
 	}
 	return out
+}
+
+// Register exposes the per-path stats on reg under the pas_http_
+// namespace, read at scrape time so the middleware's counters stay the
+// single source of truth.
+func (m *Metrics) Register(reg *obs.Registry) {
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for path, ps := range m.paths {
+			e.Counter("pas_http_requests_total", "HTTP requests served, by path.",
+				float64(ps.Requests), "path", path)
+			e.Counter("pas_http_errors_total", "HTTP responses with status >= 400, by path.",
+				float64(ps.Errors), "path", path)
+			e.Counter("pas_http_request_seconds_sum", "Total time serving HTTP requests, by path.",
+				ps.Total.Seconds(), "path", path)
+		}
+	})
 }
 
 // Handler serves the metrics snapshot as JSON (mount at /metricsz).

@@ -9,11 +9,14 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func okHandler() http.Handler {
@@ -79,14 +82,140 @@ func TestRequestIDAssignedAndEchoed(t *testing.T) {
 	}
 }
 
-func TestLoggingWritesAccessLine(t *testing.T) {
+func TestLoggingWritesJSONAccessLine(t *testing.T) {
 	var buf bytes.Buffer
 	logger := log.New(&buf, "", 0)
-	h := Chain(okHandler(), RequestID(), Logging(logger))
+	tracer := obs.NewTracer(obs.TraceConfig{IDSeed: 7})
+	h := Chain(okHandler(), RequestID(), Trace(tracer, "test"), Logging(logger))
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/augment", nil))
-	line := buf.String()
-	if !strings.Contains(line, "GET /v1/augment") || !strings.Contains(line, "200") {
-		t.Fatalf("access line = %q", line)
+
+	var line accessLine
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &line); err != nil {
+		t.Fatalf("access line is not JSON: %v (line %q)", err, buf.String())
+	}
+	if line.Method != "GET" || line.Path != "/v1/augment" || line.Status != 200 {
+		t.Fatalf("access line = %+v", line)
+	}
+	if line.RequestID == "" {
+		t.Fatal("access line missing request id")
+	}
+	if line.TraceID == "" {
+		t.Fatal("access line missing trace id")
+	}
+	if line.Bytes != 2 || line.DurMs < 0 {
+		t.Fatalf("access line = %+v, want 2 bytes and non-negative latency", line)
+	}
+	if line.Shed || line.Degraded {
+		t.Fatalf("clean 200 flagged shed/degraded: %+v", line)
+	}
+	// The logged trace id matches the stored trace.
+	snap := tracer.Snapshot()
+	if len(snap.Recent) != 1 || snap.Recent[0].TraceID != line.TraceID {
+		t.Fatalf("log trace id %q not in store %+v", line.TraceID, snap.Recent)
+	}
+}
+
+// TestLoggingFlagsShedAndDegraded: the two operational flags must be
+// visible per request, not just in aggregate stats.
+func TestLoggingFlagsShedAndDegraded(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-PAS-Degraded", "1")
+		fmt.Fprint(w, "raw prompt")
+	}), Logging(logger))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/augment", nil))
+	var line accessLine
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &line); err != nil {
+		t.Fatal(err)
+	}
+	if !line.Degraded || line.Shed {
+		t.Fatalf("degraded response logged as %+v", line)
+	}
+
+	buf.Reset()
+	h = Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSONError(w, http.StatusServiceUnavailable, "server overloaded")
+	}), Logging(logger))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/augment", nil))
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &line); err != nil {
+		t.Fatal(err)
+	}
+	if !line.Shed || line.Status != http.StatusServiceUnavailable {
+		t.Fatalf("shed response logged as %+v", line)
+	}
+}
+
+// TestTraceMiddleware covers the root-span lifecycle: a fresh trace
+// when the client sent nothing, a continuation when it sent a valid
+// traceparent, and a fresh root — never inheritance — on garbage.
+func TestTraceMiddleware(t *testing.T) {
+	tracer := obs.NewTracer(obs.TraceConfig{IDSeed: 11})
+	var childTrace string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, span := obs.StartSpan(r.Context(), "work")
+		childTrace = span.Context().TraceID.String()
+		span.End()
+		fmt.Fprint(w, "ok")
+	}), RequestID(), Trace(tracer, "svc"))
+
+	// No traceparent: fresh root, echoed on the response.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/augment", nil))
+	echoed, ok := obs.ParseTraceparent(rec.Header().Get(obs.TraceparentHeader))
+	if !ok {
+		t.Fatalf("response traceparent %q unparseable", rec.Header().Get(obs.TraceparentHeader))
+	}
+	if echoed.TraceID.String() != childTrace {
+		t.Fatalf("handler child trace %s != echoed %s", childTrace, echoed.TraceID)
+	}
+	snap := tracer.Snapshot()
+	if len(snap.Recent) != 1 || len(snap.Recent[0].Spans) != 2 {
+		t.Fatalf("want 1 trace with root+child, got %+v", snap.Recent)
+	}
+
+	// Valid upstream traceparent: same trace id continues.
+	upstream := "00-aaaabbbbccccddddeeeeffff00001111-1234567890abcdef-01"
+	req := httptest.NewRequest("GET", "/v1/augment", nil)
+	req.Header.Set(obs.TraceparentHeader, upstream)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if childTrace != "aaaabbbbccccddddeeeeffff00001111" {
+		t.Fatalf("continuation trace id = %s, want upstream's", childTrace)
+	}
+
+	// Malformed traceparent: fresh root, never inherited.
+	req = httptest.NewRequest("GET", "/v1/augment", nil)
+	req.Header.Set(obs.TraceparentHeader, "00-GARBAGE-1234567890abcdef-01")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if childTrace == "aaaabbbbccccddddeeeeffff00001111" || childTrace == "" {
+		t.Fatalf("malformed traceparent inherited: trace id %s", childTrace)
+	}
+
+	// A 5xx marks the trace errored so it is always kept.
+	boom := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusBadGateway)
+	}), Trace(tracer, "svc"))
+	boom.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	snap = tracer.Snapshot()
+	found := false
+	for _, tr := range snap.Recent {
+		if tr.Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("5xx did not mark its trace errored")
+	}
+}
+
+// TestTraceNilTracerPassthrough: tracing disabled must cost nothing and
+// change nothing.
+func TestTraceNilTracerPassthrough(t *testing.T) {
+	h := okHandler()
+	got := Trace(nil, "svc")(h)
+	if reflect.ValueOf(got).Pointer() != reflect.ValueOf(h).Pointer() {
+		t.Fatal("nil tracer did not return the handler unchanged")
 	}
 }
 
@@ -261,38 +390,61 @@ func TestConcurrencyLimitRetryAfterEnvelope(t *testing.T) {
 }
 
 // TestStatusRecorderOrdering covers the three WriteHeader/Write
-// interleavings the logging and metrics layers depend on.
+// interleavings the logging and metrics layers depend on, now through
+// the shared obs.ResponseRecorder.
 func TestStatusRecorderOrdering(t *testing.T) {
 	// Explicit status before the body: recorded verbatim.
 	inner := httptest.NewRecorder()
-	sr := &statusRecorder{ResponseWriter: inner}
+	sr := obs.WrapResponseWriter(inner)
 	sr.WriteHeader(http.StatusNotFound)
 	n, err := sr.Write([]byte("nope"))
 	if err != nil || n != 4 {
 		t.Fatalf("Write = %d, %v", n, err)
 	}
-	if sr.statusOr200() != http.StatusNotFound || inner.Code != http.StatusNotFound {
-		t.Fatalf("status = %d (inner %d), want 404", sr.statusOr200(), inner.Code)
+	if sr.StatusOr200() != http.StatusNotFound || inner.Code != http.StatusNotFound {
+		t.Fatalf("status = %d (inner %d), want 404", sr.StatusOr200(), inner.Code)
 	}
-	if sr.bytes != 4 {
-		t.Fatalf("bytes = %d, want 4", sr.bytes)
+	if sr.BytesWritten() != 4 {
+		t.Fatalf("bytes = %d, want 4", sr.BytesWritten())
 	}
 
 	// Body first: the implicit 200 commit is recorded.
-	sr2 := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
+	sr2 := obs.WrapResponseWriter(httptest.NewRecorder())
 	sr2.Write([]byte("x"))
-	if sr2.status != http.StatusOK {
-		t.Fatalf("implicit status = %d, want 200", sr2.status)
+	if sr2.Status() != http.StatusOK {
+		t.Fatalf("implicit status = %d, want 200", sr2.Status())
 	}
 
-	// Handler never wrote anything: statusOr200 reports 200 without
+	// Handler never wrote anything: StatusOr200 reports 200 without
 	// mutating the recorder (net/http sends 200 on its own).
-	sr3 := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
-	if sr3.statusOr200() != http.StatusOK {
-		t.Fatalf("statusOr200 = %d", sr3.statusOr200())
+	sr3 := obs.WrapResponseWriter(httptest.NewRecorder())
+	if sr3.StatusOr200() != http.StatusOK {
+		t.Fatalf("StatusOr200 = %d", sr3.StatusOr200())
 	}
-	if sr3.status != 0 {
-		t.Fatal("statusOr200 mutated the recorder")
+	if sr3.Status() != 0 {
+		t.Fatal("StatusOr200 mutated the recorder")
+	}
+}
+
+// TestMiddlewareChainWrapsOnce: Trace, Logging, and Metrics all wrap
+// the response writer, but the request must see a single shared
+// recorder — the old stack kept two private copies that could disagree.
+func TestMiddlewareChainWrapsOnce(t *testing.T) {
+	m := NewMetrics()
+	tracer := obs.NewTracer(obs.TraceConfig{IDSeed: 3})
+	var seen http.ResponseWriter
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = w
+		fmt.Fprint(w, "ok")
+	}), Trace(tracer, "svc"), Logging(log.New(io.Discard, "", 0)), m.Middleware())
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/once", nil))
+
+	rec, ok := seen.(*obs.ResponseRecorder)
+	if !ok {
+		t.Fatalf("handler saw %T, want *obs.ResponseRecorder", seen)
+	}
+	if _, isNested := rec.ResponseWriter.(*obs.ResponseRecorder); isNested {
+		t.Fatal("recorder wraps another recorder: double wrap")
 	}
 }
 
@@ -364,7 +516,7 @@ func TestStatusRecorderFlushPassthrough(t *testing.T) {
 	// implement Flush.
 	var flushed bool
 	inner := httptest.NewRecorder() // implements Flusher
-	sr := &statusRecorder{ResponseWriter: flushRecorder{inner, &flushed}}
+	sr := obs.WrapResponseWriter(flushRecorder{inner, &flushed})
 	sr.Flush()
 	if !flushed {
 		t.Fatal("flush not forwarded")

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in Prometheus text exposition format:
+// sorted by metric name, HELP and TYPE lines first, samples sorted by
+// label signature, histograms as cumulative _bucket/_sum/_count lines.
+// The output is deterministic for a given registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.gather() {
+		if len(f.samples) == 0 && len(f.histograms) == 0 {
+			continue
+		}
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+
+		samples := append([]emittedSample(nil), f.samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return labelSignature(samples[i].labels) < labelSignature(samples[j].labels)
+		})
+		for _, s := range samples {
+			b.WriteString(f.name)
+			writeLabels(&b, s.labels, false, 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value))
+			b.WriteByte('\n')
+		}
+
+		hists := append([]histogramSample(nil), f.histograms...)
+		sort.Slice(hists, func(i, j int) bool {
+			return labelSignature(hists[i].labels) < labelSignature(hists[j].labels)
+		})
+		for _, h := range hists {
+			// Bucket counts are cumulative; the implicit +Inf bucket
+			// equals _count.
+			for i, bound := range h.bounds {
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, h.labels, true, bound)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(h.buckets[i], 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(&b, h.labels, true, infBound)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(h.count, 10))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(&b, h.labels, false, 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(h.sum))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(&b, h.labels, false, 0)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(h.count, 10))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// infBound marks the implicit +Inf bucket for writeLabels.
+const infBound = -1
+
+// writeLabels renders the {k="v",...} block, appending the le bucket
+// bound when withLE is set; no labels and no le renders nothing.
+func writeLabels(b *strings.Builder, labels []Attr, withLE bool, bound float64) {
+	if len(labels) == 0 && !withLE {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if withLE {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		if bound == infBound {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatValue(bound))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func labelSignature(labels []Attr) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in text exposition format; mount at
+// GET /metricsz.
+func (r *Registry) Handler() http.Handler {
+	return r.HandlerWithJSON(nil)
+}
+
+// HandlerWithJSON serves text exposition by default and delegates to
+// jsonFallback when the scrape asks for ?format=json — the shape the
+// pre-obs /metricsz served, kept for existing dashboards.
+func (r *Registry) HandlerWithJSON(jsonFallback http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if jsonFallback != nil && req.URL.Query().Get("format") == "json" {
+			jsonFallback.ServeHTTP(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", TextContentType)
+		if err := r.WriteText(w); err != nil {
+			log.Printf("obs: writing metrics: %v", err)
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the process-wide metrics registry: registered instruments
+// (counters, gauges, histograms) updated on the hot path, plus
+// scrape-time collectors for subsystems that already keep their own
+// counters (the serving core, breakers, caches). One Registry feeds
+// one /metricsz. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	instr      map[string]*instrument
+	names      []string
+	collectors []Collector
+}
+
+// Collector emits scrape-time samples into e; registered with
+// RegisterCollector. It runs under the registry's scrape, so it must
+// not block on slow work.
+type Collector func(e *Emitter)
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{instr: make(map[string]*instrument)}
+}
+
+// instrument is one registered metric family and its children (one per
+// label-value combination; the empty combination for unlabeled
+// instruments).
+type instrument struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	keys     []string
+}
+
+type child struct {
+	labelValues []string
+
+	// counter/gauge value: float64 bits, atomically updated.
+	bits atomic.Uint64
+
+	// histogram state, guarded by mu.
+	mu      sync.Mutex
+	buckets []int64
+	sum     float64
+	count   int64
+}
+
+func (r *Registry) register(name, help, typ string, bounds []float64, labels ...string) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.instr[name]; ok {
+		if in.typ != typ || len(in.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), in.typ, len(in.labels)))
+		}
+		return in
+	}
+	in := &instrument{name: name, help: help, typ: typ, labels: labels, bounds: bounds,
+		children: make(map[string]*child)}
+	r.instr[name] = in
+	r.names = append(r.names, name)
+	return in
+}
+
+func (in *instrument) child(labelValues ...string) *child {
+	if len(labelValues) != len(in.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", in.name, len(in.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c, ok := in.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), labelValues...)}
+		if in.typ == "histogram" {
+			c.buckets = make([]int64, len(in.bounds))
+		}
+		in.children[key] = c
+		in.keys = append(in.keys, key)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds n (must be >= 0 to keep the counter monotone).
+func (c Counter) Add(n float64) {
+	for {
+		old := c.c.bits.Load()
+		v := math.Float64frombits(old) + n
+		if c.c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c Counter) Value() float64 { return math.Float64frombits(c.c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Set replaces the value.
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta.
+func (g Gauge) Add(delta float64) {
+	for {
+		old := g.c.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// Histogram is a bounded-bucket distribution (cumulative buckets plus
+// sum and count, the Prometheus shape).
+type Histogram struct {
+	c      *child
+	bounds []float64
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v float64) {
+	h.c.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.c.buckets[i]++
+		}
+	}
+	h.c.sum += v
+	h.c.count++
+	h.c.mu.Unlock()
+}
+
+// DefaultLatencyBuckets are exposition bounds for request latencies in
+// seconds, 1ms to 10s.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.register(name, help, "counter", nil).child()}
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.register(name, help, "gauge", nil).child()}
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram
+// over the given bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	in := r.register(name, help, "histogram", bounds)
+	return Histogram{in.child(), in.bounds}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ in *instrument }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.register(name, help, "counter", nil, labels...)}
+}
+
+// With returns the counter for one label-value combination.
+func (v CounterVec) With(labelValues ...string) Counter {
+	return Counter{v.in.child(labelValues...)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ in *instrument }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.register(name, help, "gauge", nil, labels...)}
+}
+
+// With returns the gauge for one label-value combination.
+func (v GaugeVec) With(labelValues ...string) Gauge {
+	return Gauge{v.in.child(labelValues...)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ in *instrument }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	return HistogramVec{r.register(name, help, "histogram", bounds, labels...)}
+}
+
+// With returns the histogram for one label-value combination.
+func (v HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{v.in.child(labelValues...), v.in.bounds}
+}
+
+// RegisterCollector adds a scrape-time sample source; it runs on every
+// scrape after the registered instruments are gathered.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// Emitter receives a collector's scrape-time samples. Families emitted
+// here merge with registered instruments in the exposition output.
+type Emitter struct {
+	fams  map[string]*emittedFamily
+	names []string
+}
+
+type emittedFamily struct {
+	name, help, typ string
+	samples         []emittedSample
+	histograms      []histogramSample
+}
+
+type emittedSample struct {
+	labels []Attr
+	value  float64
+}
+
+func (e *Emitter) emit(name, help, typ string, value float64, labels []string) {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &emittedFamily{name: name, help: help, typ: typ}
+		e.fams[name] = f
+		e.names = append(e.names, name)
+	}
+	s := emittedSample{value: value}
+	for i := 0; i+1 < len(labels); i += 2 {
+		s.labels = append(s.labels, Attr{Key: labels[i], Value: labels[i+1]})
+	}
+	f.samples = append(f.samples, s)
+}
+
+// Counter emits one counter sample; labels lists key/value pairs.
+func (e *Emitter) Counter(name, help string, value float64, labels ...string) {
+	e.emit(name, help, "counter", value, labels)
+}
+
+// Gauge emits one gauge sample; labels lists key/value pairs.
+func (e *Emitter) Gauge(name, help string, value float64, labels ...string) {
+	e.emit(name, help, "gauge", value, labels)
+}
+
+// gather snapshots every family — registered instruments first, then
+// collectors — sorted by name for a stable exposition.
+func (r *Registry) gather() []*emittedFamily {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	instr := make([]*instrument, 0, len(names))
+	for _, n := range names {
+		instr = append(instr, r.instr[n])
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	e := &Emitter{fams: make(map[string]*emittedFamily)}
+	for _, in := range instr {
+		e.gatherInstrument(in)
+	}
+	for _, c := range collectors {
+		c(e)
+	}
+	fams := make([]*emittedFamily, 0, len(e.names))
+	for _, n := range e.names {
+		fams = append(fams, e.fams[n])
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (e *Emitter) gatherInstrument(in *instrument) {
+	in.mu.Lock()
+	keys := append([]string(nil), in.keys...)
+	children := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, in.children[k])
+	}
+	in.mu.Unlock()
+
+	f, ok := e.fams[in.name]
+	if !ok {
+		f = &emittedFamily{name: in.name, help: in.help, typ: in.typ}
+		e.fams[in.name] = f
+		e.names = append(e.names, in.name)
+	}
+	for _, c := range children {
+		labels := make([]Attr, len(in.labels))
+		for i, l := range in.labels {
+			labels[i] = Attr{Key: l, Value: c.labelValues[i]}
+		}
+		switch in.typ {
+		case "histogram":
+			c.mu.Lock()
+			hs := histogramSample{
+				labels:  labels,
+				bounds:  in.bounds,
+				buckets: append([]int64(nil), c.buckets...),
+				sum:     c.sum,
+				count:   c.count,
+			}
+			c.mu.Unlock()
+			f.histograms = append(f.histograms, hs)
+		default:
+			f.samples = append(f.samples, emittedSample{labels: labels,
+				value: math.Float64frombits(c.bits.Load())})
+		}
+	}
+}
+
+type histogramSample struct {
+	labels  []Attr
+	bounds  []float64
+	buckets []int64
+	sum     float64
+	count   int64
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Hedger decides when a request has waited long enough that racing a
@@ -145,6 +147,8 @@ func Hedge[T any](ctx context.Context, h *Hedger, fn func(ctx context.Context) (
 				firstErr = r.err
 			}
 		case <-timer.C:
+			hedgesTotal.Add(1)
+			obs.AddEvent(ctx, "hedge.launch")
 			go launch(false)
 			launched = 2
 			seen-- // the timer firing is not a result

@@ -1,0 +1,28 @@
+package resilience
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-wide counters for the outcomes that matter operationally:
+// every retry re-attempt and every hedge launch, whichever Policy or
+// Hedger produced them. Per-instance detail (a specific breaker's
+// state) is exported by the owner of that instance; these totals answer
+// the fleet-level question "how much extra work is resilience creating".
+var (
+	retriesTotal atomic.Int64
+	hedgesTotal  atomic.Int64
+)
+
+// RegisterMetrics exposes the package counters on reg under the
+// pas_resilience_ namespace, read at scrape time.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		e.Counter("pas_resilience_retries_total",
+			"Retry re-attempts across all policies.", float64(retriesTotal.Load()))
+		e.Counter("pas_resilience_hedges_total",
+			"Hedge second attempts launched.", float64(hedgesTotal.Load()))
+	})
+}

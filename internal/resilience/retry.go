@@ -3,8 +3,11 @@ package resilience
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy is a retry schedule: capped exponential backoff with full
@@ -142,6 +145,11 @@ func DoValue[T any](ctx context.Context, p Policy, fn func(ctx context.Context) 
 		if !p.affordable(ctx, start, delay) {
 			return zero, lastErr
 		}
+		retriesTotal.Add(1)
+		obs.AddEvent(ctx, "retry.attempt",
+			"attempt", strconv.Itoa(attempt+1),
+			"delay_ms", strconv.FormatInt(delay.Milliseconds(), 10),
+			"cause", err.Error())
 		if serr := p.Sleep(ctx, delay); serr != nil {
 			return zero, lastErr
 		}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -196,22 +197,43 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 	}
 	start := c.cfg.Now()
 	k := key(prompt, salt, model)
+	ctx, span := obs.StartSpan(ctx, "serving.do")
+	defer span.End()
+
+	_, lookup := obs.StartSpan(ctx, "serving.cache_lookup")
 	if c.cache != nil {
 		if v, ok := c.cache.get(k); ok {
+			lookup.SetStatus("hit")
+			lookup.End()
+			span.SetStatus("cache_hit")
 			c.finish(start)
 			return v, nil
 		}
+		lookup.SetStatus("miss")
+	} else {
+		lookup.SetStatus("disabled")
 	}
+	lookup.End()
+
 	v, shared, err := c.flight.do(ctx, k, func() (string, error) {
+		// The single-flight leader runs here; followers share its
+		// outcome, so the spans below describe the one real computation.
+		_, qspan := obs.StartSpan(ctx, "serving.queue_wait")
+		qspan.SetAttr("singleflight.role", "leader")
 		// The breaker guards the leader only: followers share the
 		// leader's outcome, and cache hits never reach this point, so
 		// one failed computation is one recorded failure.
 		var done func(success bool)
 		if c.breaker != nil {
+			if qspan != nil {
+				qspan.SetAttr("breaker.state", c.breaker.Stats().State)
+			}
 			var berr error
 			done, berr = c.breaker.Allow()
 			if berr != nil {
 				atomic.AddInt64(&c.shedBreaker, 1)
+				qspan.SetError(ErrBreakerOpen)
+				qspan.End()
 				return "", ErrBreakerOpen
 			}
 		}
@@ -222,10 +244,15 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 				// cancelled client says nothing about core health.
 				done(!Overloaded(err))
 			}
+			qspan.SetError(err)
+			qspan.End()
 			return "", err
 		}
+		qspan.End()
 		defer release()
+		_, compute := obs.StartSpan(ctx, "serving.compute")
 		out := c.fn(prompt, salt)
+		compute.End()
 		if c.cache != nil {
 			c.cache.put(k, out)
 		}
@@ -236,8 +263,10 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 	})
 	if shared {
 		atomic.AddInt64(&c.dedupHits, 1)
+		span.SetAttr("singleflight.role", "follower")
 	}
 	if err != nil {
+		span.SetError(err)
 		return "", err
 	}
 	c.finish(start)

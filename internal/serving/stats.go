@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -139,6 +140,50 @@ func quantileOrZero(xs []float64, q float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// RegisterMetrics exposes the core's counters on reg under the
+// pas_serving_ namespace, read from Stats at scrape time so the core's
+// atomics stay the single source of truth.
+func (c *Core) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		s := c.Stats()
+		e.Gauge("pas_serving_in_flight", "Complement computations running now.", float64(s.InFlight))
+		e.Gauge("pas_serving_queue_depth", "Requests waiting for a computation slot.", float64(s.QueueDepth))
+		e.Counter("pas_serving_requests_total", "Requests entering the serving core.", float64(s.Requests))
+		e.Counter("pas_serving_completed_total", "Requests served successfully.", float64(s.Completed))
+		e.Counter("pas_serving_shed_total", "Requests shed, by reason.",
+			float64(s.ShedQueueFull), "reason", "queue_full")
+		e.Counter("pas_serving_shed_total", "Requests shed, by reason.",
+			float64(s.ShedDeadline), "reason", "deadline")
+		e.Counter("pas_serving_shed_total", "Requests shed, by reason.",
+			float64(s.ShedBreaker), "reason", "breaker")
+		e.Counter("pas_serving_degraded_total", "Requests served fail-open with the raw prompt.", float64(s.Degraded))
+		e.Counter("pas_serving_dedup_hits_total", "Requests served by an in-flight duplicate.", float64(s.DedupHits))
+		e.Counter("pas_serving_cache_hits_total", "Result-cache hits.", float64(s.Cache.Hits))
+		e.Counter("pas_serving_cache_misses_total", "Result-cache misses.", float64(s.Cache.Misses))
+		e.Counter("pas_serving_cache_evictions_total", "Result-cache LRU evictions.", float64(s.Cache.Evictions))
+		e.Counter("pas_serving_cache_expiries_total", "Result-cache TTL expiries.", float64(s.Cache.Expiries))
+		e.Gauge("pas_serving_cache_entries", "Result-cache entries resident.", float64(s.Cache.Entries))
+		e.Gauge("pas_serving_latency_ms", "Recent-window latency quantiles in milliseconds.",
+			s.LatencyP50Ms, "quantile", "0.5")
+		e.Gauge("pas_serving_latency_ms", "Recent-window latency quantiles in milliseconds.",
+			s.LatencyP95Ms, "quantile", "0.95")
+		e.Gauge("pas_serving_latency_ms", "Recent-window latency quantiles in milliseconds.",
+			s.LatencyP99Ms, "quantile", "0.99")
+		if s.Breaker != nil {
+			state := 0.0
+			switch s.Breaker.State {
+			case "half-open":
+				state = 1
+			case "open":
+				state = 2
+			}
+			e.Gauge("pas_serving_breaker_state", "Augmentation breaker state (0 closed, 1 half-open, 2 open).", state)
+			e.Counter("pas_serving_breaker_opens_total", "Times the augmentation breaker opened.", float64(s.Breaker.Opens))
+			e.Counter("pas_serving_breaker_rejections_total", "Requests rejected by the open breaker.", float64(s.Breaker.Rejections))
+		}
+	})
 }
 
 // StatsHandler serves the snapshot as JSON; mount at GET /v1/stats.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/augment"
 	"repro/internal/curation"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
 	"repro/internal/serving"
@@ -229,11 +230,17 @@ func (s *System) EnhanceContext(ctx context.Context, main Chatter, prompt, salt 
 	if c == "" {
 		content = prompt // degraded or empty complement: raw prompt, no stray newline
 	}
-	resp, err := AsChatterCtx(main).ChatContext(ctx,
+	mctx, mspan := obs.StartSpan(ctx, "main.chat")
+	mspan.SetAttr("model", main.Name())
+	mspan.SetAttrBool("degraded", degraded)
+	resp, err := AsChatterCtx(main).ChatContext(mctx,
 		[]simllm.Message{{Role: "user", Content: content}},
 		simllm.Options{Salt: salt})
 	if err != nil {
+		mspan.SetError(err)
+		mspan.End()
 		return Enhanced{}, err
 	}
+	mspan.End()
 	return Enhanced{Prompt: prompt, Complement: c, Response: resp, Degraded: degraded}, nil
 }

@@ -2,6 +2,7 @@ package pas
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Proxy is the transparent deployment form of the plug-and-play system:
@@ -45,8 +48,19 @@ func NewProxy(system *System, upstreamURL string) (*Proxy, error) {
 			r.URL.Scheme = u.Scheme
 			r.URL.Host = u.Host
 			r.Host = u.Host
+			// The outbound clone carries the inbound request's context, so
+			// this stamps the current trace onto the upstream hop and the
+			// downstream service continues the same trace.
+			obs.Inject(r.Context(), r.Header)
 		},
 		FlushInterval: 50 * time.Millisecond, // keep SSE streaming live
+		// The proxy's own middleware already echoes a traceparent on the
+		// response; drop the upstream's echo so the client is not handed
+		// two values for one header.
+		ModifyResponse: func(resp *http.Response) error {
+			resp.Header.Del(obs.TraceparentHeader)
+			return nil
+		},
 		// Only transport-level failures (upstream unreachable, connection
 		// reset) reach this handler; an upstream that answers — any
 		// status, 4xx included — streams back to the client verbatim.
@@ -73,7 +87,13 @@ type chatPayload struct {
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/chat/completions") {
-		degraded, err := p.augmentRequest(r)
+		actx, span := obs.StartSpan(r.Context(), "proxy.augment")
+		degraded, err := p.augmentRequest(actx, r)
+		span.SetAttrBool("degraded", degraded)
+		if err != nil {
+			span.SetError(err)
+		}
+		span.End()
 		if err != nil {
 			status := http.StatusBadRequest
 			if IsOverloaded(err) {
@@ -102,7 +122,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // temperature, stream, anything the proxy does not know about — survive
 // byte-for-byte via generic JSON handling. The degraded result reports
 // that the system fell back to the raw prompt (ServingConfig.Degrade).
-func (p *Proxy) augmentRequest(r *http.Request) (degraded bool, _ error) {
+// ctx carries the caller's span in addition to r.Context()'s deadline
+// and cancellation, so augmentation work parents under it.
+func (p *Proxy) augmentRequest(ctx context.Context, r *http.Request) (degraded bool, _ error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 	if err != nil {
 		return false, fmt.Errorf("reading request: %w", err)
@@ -134,7 +156,7 @@ func (p *Proxy) augmentRequest(r *http.Request) (degraded bool, _ error) {
 		// when the system has one; the request context propagates
 		// deadlines and client disconnects into the queue. With Degrade
 		// enabled a PAS-side failure leaves the message untouched.
-		augmented, deg, err := p.system.AugmentContextDegraded(r.Context(), payload.Messages[last].Content, salt)
+		augmented, deg, err := p.system.AugmentContextDegraded(ctx, payload.Messages[last].Content, salt)
 		if err != nil {
 			return false, err
 		}

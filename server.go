@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/serving"
 )
@@ -165,9 +166,19 @@ func (s *System) complementOrDegrade(ctx context.Context, prompt, salt string) (
 	}
 	if s.degrade && IsOverloaded(err) {
 		s.core.NoteDegraded()
+		obs.AddEvent(ctx, "augment.degraded", "cause", err.Error())
 		return "", true, nil
 	}
 	return "", false, err
+}
+
+// RegisterMetrics exposes the serving core's counters on reg (see
+// serving.Core.RegisterMetrics). Without EnableServing it registers
+// nothing — there is no core to observe.
+func (s *System) RegisterMetrics(reg *obs.Registry) {
+	if s.core != nil {
+		s.core.RegisterMetrics(reg)
+	}
 }
 
 // AugmentContext is Augment through the serving core; see
