@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -68,5 +70,82 @@ func TestRunStatsReport(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Dataset analysis") {
 		t.Fatalf("stats report missing:\n%s", buf.String())
+	}
+}
+
+func TestRunCheckpointedResumeIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	out1 := filepath.Join(dir, "fresh.jsonl")
+	out2 := filepath.Join(dir, "resumed.jsonl")
+	args := []string{"-corpus", "1500", "-cap", "20", "-seed", "3", "-checkpoint-dir", ckpt}
+
+	var buf bytes.Buffer
+	if err := run(append(args, "-out", out1), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "meta.json")); err != nil {
+		t.Fatalf("checkpoint not initialised: %v", err)
+	}
+	buf.Reset()
+	if err := run(append(args, "-resume", "-out", out2), &buf); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("resumed dataset differs from the fresh build")
+	}
+}
+
+func TestRunStaleCheckpointRefusedWithoutResumeHint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	out := filepath.Join(dir, "pairs.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-corpus", "1500", "-cap", "20", "-seed", "3", "-checkpoint-dir", ckpt, "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err := run([]string{"-corpus", "1500", "-cap", "20", "-seed", "4", "-checkpoint-dir", ckpt, "-resume", "-out", out}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "different build") {
+		t.Fatalf("changed seed should refuse resume, got %v", err)
+	}
+	if strings.Contains(buf.String(), "resume with:") {
+		t.Fatalf("stale refusal must not suggest resuming:\n%s", buf.String())
+	}
+}
+
+func TestRunResumeRequiresCheckpointDir(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-resume"}, &buf); err == nil {
+		t.Fatal("-resume without -checkpoint-dir should fail")
+	}
+}
+
+func TestBuildFailurePrintsResumeCommand(t *testing.T) {
+	var buf bytes.Buffer
+	failure := errors.New("boom")
+	args := []string{"-corpus", "1500", "-checkpoint-dir", "ckpt", "-resume"}
+	if err := buildFailure(&buf, failure, "ckpt", args); err != failure {
+		t.Fatalf("error not passed through: %v", err)
+	}
+	report := buf.String()
+	if !strings.Contains(report, "partial checkpoint retained in ckpt") {
+		t.Errorf("retention notice missing:\n%s", report)
+	}
+	if !strings.Contains(report, "resume with: pasgen -resume -corpus 1500 -checkpoint-dir ckpt\n") {
+		t.Errorf("resume command wrong (want -resume exactly once):\n%s", report)
+	}
+
+	buf.Reset()
+	if err := buildFailure(&buf, failure, "", args); err != failure || buf.Len() != 0 {
+		t.Errorf("no checkpoint dir should stay silent, wrote:\n%s", buf.String())
 	}
 }

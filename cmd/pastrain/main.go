@@ -1,9 +1,14 @@
 // Command pastrain fine-tunes a PAS model from a JSONL pair dataset
 // (typically produced by pasgen) and saves it for serving.
 //
+// With -checkpoint-dir it reads the dataset straight out of a pasgen
+// build checkpoint, and with -resume it reuses the checkpoint's trained
+// model snapshot instead of retraining.
+//
 // Usage:
 //
 //	pastrain -data pairs.jsonl -out pas-model.json [-base qwen2-7b-chat]
+//	pastrain -checkpoint-dir ckpt/ -out pas-model.json [-resume]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
 	"repro/internal/sft"
 	"repro/internal/simllm"
 )
@@ -32,32 +38,66 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pastrain", flag.ContinueOnError)
 	var (
-		data = fs.String("data", "pairs.jsonl", "training dataset (JSONL)")
-		out  = fs.String("out", "pas-model.json", "output model path")
-		base = fs.String("base", simllm.Qwen27B, "base model to fine-tune ("+strings.Join(simllm.Roster(), ", ")+")")
+		data          = fs.String("data", "pairs.jsonl", "training dataset (JSONL)")
+		out           = fs.String("out", "pas-model.json", "output model path")
+		base          = fs.String("base", simllm.Qwen27B, "base model to fine-tune ("+strings.Join(simllm.Roster(), ", ")+")")
+		checkpointDir = fs.String("checkpoint-dir", "", "pasgen checkpoint directory to read the dataset from (overrides -data)")
+		resume        = fs.Bool("resume", false, "reuse the checkpoint's trained model snapshot if present instead of retraining")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 
-	d, err := dataset.LoadFile(*data)
+	var (
+		d   *dataset.Dataset
+		err error
+	)
+	if *checkpointDir != "" {
+		d, err = pipeline.LoadCheckpointDataset(*checkpointDir)
+	} else {
+		d, err = dataset.LoadFile(*data)
+	}
 	if err != nil {
 		return err
 	}
-	profile, err := simllm.LookupProfile(*base)
-	if err != nil {
-		return err
+
+	var model *sft.Model
+	trained := false
+	if *resume {
+		m, ok, err := pipeline.LoadCheckpointModel(*checkpointDir)
+		if err != nil {
+			return err
+		}
+		if ok {
+			model = m
+			fmt.Fprintf(w, "reusing trained model snapshot from %s\n", *checkpointDir)
+		}
 	}
-	baseModel, err := simllm.New(profile)
-	if err != nil {
-		return err
-	}
-	model, err := sft.Train(baseModel, d, sft.DefaultConfig())
-	if err != nil {
-		return err
+	if model == nil {
+		profile, err := simllm.LookupProfile(*base)
+		if err != nil {
+			return err
+		}
+		baseModel, err := simllm.New(profile)
+		if err != nil {
+			return err
+		}
+		model, err = sft.Train(baseModel, d, sft.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		trained = true
 	}
 	if err := model.SaveFile(*out); err != nil {
 		return err
+	}
+	if trained && *checkpointDir != "" {
+		if err := pipeline.SaveCheckpointModel(*checkpointDir, model); err != nil {
+			return err
+		}
 	}
 	pol := model.Policy()
 	fmt.Fprintf(w, "trained PAS on %s with %d pairs -> %s\n", *base, d.Len(), *out)

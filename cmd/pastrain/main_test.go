@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
 	"repro/internal/sft"
 )
 
@@ -71,5 +74,76 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &buf); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+// buildCheckpoint runs a small checkpointed pipeline build once and
+// returns its directory; the result carries a dataset and model
+// snapshot for the checkpoint-consuming tests.
+func buildCheckpoint(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cfg := pipeline.DefaultConfig()
+	cfg.CorpusSize = 1500
+	cfg.Seed = 3
+	cfg.Augment.PerCategoryCap = 20
+	cfg.Augment.HeavyCategoryCap = 60
+	if _, err := pipeline.BuildWithCheckpoint(cfg, pipeline.BuildOptions{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunFromCheckpoint(t *testing.T) {
+	ckpt := buildCheckpoint(t)
+	out1 := filepath.Join(t.TempDir(), "model.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-checkpoint-dir", ckpt, "-out", out1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trained PAS on qwen2-7b-chat") {
+		t.Fatalf("report:\n%s", buf.String())
+	}
+
+	// A resume must reuse the model snapshot and save identical bytes.
+	out2 := filepath.Join(t.TempDir(), "model.json")
+	buf.Reset()
+	if err := run([]string{"-checkpoint-dir", ckpt, "-resume", "-out", out2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reusing trained model snapshot") {
+		t.Fatalf("resume did not reuse the snapshot:\n%s", buf.String())
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("resumed model differs from the trained one")
+	}
+}
+
+func TestRunCheckpointErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-resume"}, &buf); err == nil {
+		t.Error("-resume without -checkpoint-dir should fail")
+	}
+	if err := run([]string{"-checkpoint-dir", t.TempDir()}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "holds no checkpoint") {
+		t.Errorf("uninitialised dir should fail clearly, got %v", err)
+	}
+	// Initialised but no dataset snapshot yet: pasgen crashed before
+	// the generation stage finished.
+	empty := filepath.Join(t.TempDir(), "ckpt")
+	if _, err := checkpoint.Open(empty, "sha256:feed", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-checkpoint-dir", empty}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "no generated dataset") {
+		t.Errorf("dataset-less checkpoint should fail clearly, got %v", err)
 	}
 }

@@ -49,6 +49,11 @@ type Config struct {
 	QualityThreshold float64
 	// ScorerModel names the quality-scoring LLM (§3.1 uses BaiChuan 13B).
 	ScorerModel string
+	// OnProgress, when set, is called after each quality-scoring call
+	// with the number of representatives scored so far and the total —
+	// the scoring loop dominates curation wall-clock, and long builds
+	// surface it on /metricsz. Excluded from checkpoint fingerprints.
+	OnProgress func(done, total int) `json:"-"`
 }
 
 // DefaultConfig returns the pipeline settings used by the experiments.
@@ -119,8 +124,11 @@ func Run(pool []corpus.Prompt, clf *classify.Classifier, cfg Config) (*Result, e
 	var kept []corpus.Prompt
 	var scores []float64
 	var scoreSum float64
-	for _, p := range reps {
+	for i, p := range reps {
 		s := scorerModel.ScorePromptQuality(p.Text)
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(i+1, len(reps))
+		}
 		if s >= cfg.QualityThreshold {
 			kept = append(kept, p)
 			scores = append(scores, s)

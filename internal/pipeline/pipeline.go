@@ -8,8 +8,6 @@ import (
 	"fmt"
 
 	"repro/internal/augment"
-	"repro/internal/classify"
-	"repro/internal/corpus"
 	"repro/internal/curation"
 	"repro/internal/dataset"
 	"repro/internal/sft"
@@ -63,64 +61,15 @@ type Result struct {
 	CurationStats curation.Stats
 	// AugmentStats reports the §3.2 pipeline.
 	AugmentStats augment.Stats
+	// Quarantine lists generation items skipped after exhausting their
+	// regeneration budgets (empty on healthy builds).
+	Quarantine []augment.Quarantined
 }
 
-// Build runs the complete PAS construction.
+// Build runs the complete PAS construction in memory. For crash-safe,
+// resumable builds use BuildWithCheckpoint.
 func Build(cfg Config) (*Result, error) {
-	if cfg.CorpusSize <= 0 {
-		return nil, fmt.Errorf("pipeline: CorpusSize must be positive, got %d", cfg.CorpusSize)
-	}
-	if cfg.ClassifierExamples <= 0 {
-		return nil, fmt.Errorf("pipeline: ClassifierExamples must be positive, got %d", cfg.ClassifierExamples)
-	}
-	base, err := simllm.LookupProfile(cfg.BaseModel)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: base model: %w", err)
-	}
-	baseModel, err := simllm.New(base)
-	if err != nil {
-		return nil, err
-	}
-
-	poolCfg := corpus.DefaultConfig()
-	poolCfg.Size = cfg.CorpusSize
-	poolCfg.Seed = cfg.Seed
-	pool, err := corpus.Generate(poolCfg)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: corpus: %w", err)
-	}
-
-	examples, err := classify.TrainingSet(cfg.ClassifierExamples, cfg.Seed+1)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: classifier data: %w", err)
-	}
-	clf, err := classify.Train(examples, classify.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: classifier: %w", err)
-	}
-
-	cur, err := curation.Run(pool, clf, cfg.Curation)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: curation: %w", err)
-	}
-
-	gen, err := augment.Run(cur.Selected, dataset.Golden(), cfg.Augment)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: augment: %w", err)
-	}
-
-	model, err := sft.Train(baseModel, gen.Data, cfg.SFT)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: sft: %w", err)
-	}
-
-	return &Result{
-		Model:         model,
-		Dataset:       gen.Data,
-		Curated:       cur.Selected,
-		CurationStats: cur.Stats,
-		AugmentStats:  gen.Stats,
-	}, nil
+	return BuildWithCheckpoint(cfg, BuildOptions{})
 }
 
 // Retrain fine-tunes a fresh copy of the base model on a different

@@ -19,6 +19,7 @@
 package sft
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -305,6 +306,18 @@ func (m *Model) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(persisted{Format: formatV1, Base: m.base, Seed: m.seed, Policy: m.policy})
+}
+
+// Bytes returns the model in its Save serialization — the canonical
+// byte form used for checkpoint snapshots and artifact comparison.
+// Save is deterministic (no maps, no timestamps), so equal models
+// produce equal bytes.
+func (m *Model) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // SaveFile writes the model to path.
