@@ -1,0 +1,167 @@
+// Command pasload replays a prompt corpus against a PAS serving tier —
+// a single passerve replica, or a cluster behind pasproxy — and emits a
+// machine-readable JSON report (latency quantiles, achieved QPS,
+// per-replica cache hit ratios). It is the measurement half of the
+// sharded serving tier: run it against a 3-replica cluster and the
+// per-replica hit deltas show consistent-hash cache locality directly.
+//
+// Usage:
+//
+//	pasload -target http://localhost:8424 -n 2000 -qps 500 -c 16 \
+//	        -replicas http://localhost:8431,http://localhost:8432,http://localhost:8433 \
+//	        -report BENCH_serving.json
+//
+// The corpus is synthesised by internal/corpus (deterministic for a
+// given -corpus-seed) or read from -prompts-file, one prompt per line.
+// Key selection is zipfian by default (-skew uniform for the cold
+// path), seeded by -seed so two runs replay the identical sequence.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pasload: ")
+
+	var (
+		target      = flag.String("target", "http://localhost:8424", "base URL under test (pasproxy or a passerve replica)")
+		mode        = flag.String("mode", loadgen.ModeAugment, "endpoint to replay: augment (POST /v1/augment) or chat (POST /v1/chat/completions)")
+		chatModel   = flag.String("chat-model", "pas-bench", "model field sent in chat mode")
+		requests    = flag.Int("n", 200, "request count (0 = run until -duration)")
+		duration    = flag.Duration("duration", 0, "wall-clock bound (0 = run until -n)")
+		qps         = flag.Float64("qps", 0, "offered rate (0 = unthrottled)")
+		concurrency = flag.Int("c", 8, "concurrent workers")
+		skew        = flag.String("skew", loadgen.SkewZipf, "key distribution: zipf or uniform")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf s parameter (>1; larger = hotter head)")
+		seed        = flag.Int64("seed", 1, "key-sampling seed; equal seeds replay equal sequences")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		salt        = flag.String("salt", "", "salt sent with every augmentation")
+		replicas    = flag.String("replicas", "", "comma-separated replica base URLs to scrape /v1/stats hit deltas from")
+		corpusSize  = flag.Int("corpus-size", 500, "synthetic corpus size (ignored with -prompts-file)")
+		corpusSeed  = flag.Int64("corpus-seed", 1, "synthetic corpus seed")
+		promptsFile = flag.String("prompts-file", "", "read the corpus from this file, one prompt per line")
+		report      = flag.String("report", "", "write the JSON report here ('-' or empty = stdout)")
+	)
+	flag.Parse()
+
+	prompts, err := loadCorpus(*promptsFile, *corpusSize, *corpusSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var replicaURLs []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicaURLs = append(replicaURLs, r)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("replaying %d prompts against %s (%s mode, skew %s, %d workers)",
+		len(prompts), *target, *mode, *skew, *concurrency)
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Target:      *target,
+		Mode:        *mode,
+		Model:       *chatModel,
+		Prompts:     prompts,
+		Requests:    *requests,
+		Duration:    *duration,
+		QPS:         *qps,
+		Concurrency: *concurrency,
+		Skew:        *skew,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		Salt:        *salt,
+		Replicas:    replicaURLs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	if *report != "" && *report != "-" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing report: %v", err)
+			}
+		}()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("%d requests in %.2fs (%.1f QPS): p50 %.2fms p90 %.2fms p99 %.2fms, %d errors, %d degraded",
+		rep.Requests, rep.DurationSeconds, rep.AchievedQPS,
+		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.Errors, rep.Degraded)
+	if rep.ClusterHits+rep.ClusterMisses > 0 {
+		log.Printf("cluster cache: %d hits / %d misses (ratio %.3f)",
+			rep.ClusterHits, rep.ClusterMisses, rep.ClusterHitRatio)
+	}
+	if rep.Errors > 0 {
+		log.Printf("first error: %s", rep.FirstError)
+		os.Exit(1)
+	}
+}
+
+// loadCorpus reads prompts from a file or synthesises them.
+func loadCorpus(path string, size int, seed int64) ([]string, error) {
+	if path == "" {
+		cfg := corpus.DefaultConfig()
+		cfg.Size = size
+		cfg.Seed = seed
+		pool, err := corpus.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(pool))
+		for i, p := range pool {
+			out[i] = p.Text
+		}
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pasload: corpus file: %w", err)
+	}
+	defer f.Close() // read-only file: nothing actionable on close failure
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			out = append(out, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pasload: reading corpus: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pasload: corpus file %s is empty", path)
+	}
+	return out, nil
+}

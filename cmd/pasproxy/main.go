@@ -3,22 +3,36 @@
 // simply point at the proxy, and every request's final user message gains
 // a complementary prompt on the way through.
 //
-// Usage:
+// Usage (single node — augmentation runs in-process):
 //
 //	pasproxy -model pas-model.json -upstream http://localhost:8423 [-addr :8424]
 //
+// Usage (cluster — augmentation routed across a passerve fleet):
+//
+//	pasproxy -upstream http://localhost:8423 \
+//	         -replicas http://localhost:8431,http://localhost:8432,http://localhost:8433
+//
 // Pair it with cmd/pasllm as the upstream for a fully local demo.
 //
-// Augmentation runs through the same serving core as cmd/passerve —
-// result cache (-cache-size, -cache-ttl), single-flight dedup, bounded
-// admission queue (-max-inflight, -queue-depth, -queue-wait) — plus
-// shed-retry (-retries, -retry-budget) behind a circuit breaker
-// (-breaker-threshold, -breaker-cooldown). With -degrade (default on)
-// an augmentation the core still cannot serve is forwarded un-augmented
-// — flagged X-PAS-Degraded and counted in /v1/stats — so a PAS-side
-// failure never turns into a user-visible 5xx; upstream errors, 4xx
-// included, always pass through verbatim. The core's snapshot is served
-// locally at GET /v1/stats (all other paths forward to the upstream).
+// In single-node mode augmentation runs through the same serving core as
+// cmd/passerve — result cache (-cache-size, -cache-ttl), single-flight
+// dedup, bounded admission queue (-max-inflight, -queue-depth,
+// -queue-wait) — plus shed-retry (-retries, -retry-budget) behind a
+// circuit breaker (-breaker-threshold, -breaker-cooldown).
+//
+// With -replicas the proxy instead routes each augmentation to the
+// replica owning its cache key on a consistent-hash ring (-vnodes
+// virtual nodes), so repeated prompts always warm the same replica's
+// cache. Replica health is probed at /v1/status (-probe-interval,
+// -probe-timeout); a member failing -down-after consecutive checks is
+// evicted from the ring — moving only its own keys — and rejoins on
+// recovery. -hedge races slow owners against their ring successor.
+// GET /metricsz/cluster scrapes and merges every member's exposition.
+//
+// With -degrade (default on) an augmentation the serving tier cannot
+// deliver is forwarded un-augmented — flagged X-PAS-Degraded and counted
+// in /v1/stats — so a PAS-side failure never turns into a user-visible
+// 5xx; upstream errors, 4xx included, always pass through verbatim.
 // SIGINT/SIGTERM drain in-flight requests.
 package main
 
@@ -29,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +51,7 @@ import (
 	"repro/internal/httpmw"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/ring"
 )
 
 func main() {
@@ -43,8 +59,8 @@ func main() {
 	log.SetPrefix("pasproxy: ")
 
 	var (
-		model       = flag.String("model", "pas-model.json", "trained PAS model (from pastrain)")
-		upstream    = flag.String("upstream", "http://localhost:8423", "chat-completions endpoint to front")
+		model       = flag.String("model", "pas-model.json", "trained PAS model (from pastrain); unused with -replicas")
+		upstream    = flag.String("upstream", "http://localhost:8423", "chat-completions endpoint to front (bare http(s)://host[:port])")
 		addr        = flag.String("addr", ":8424", "listen address")
 		cacheSize   = flag.Int("cache-size", 4096, "complement result cache entries (negative disables)")
 		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry; sound for a fixed model)")
@@ -53,46 +69,107 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
 		retries     = flag.Int("retries", 1, "re-attempts for a shed complement computation (0 disables)")
 		retryBudget = flag.Duration("retry-budget", 500*time.Millisecond, "total time budget for the retry loop, sleeps included")
-		breaker     = flag.Int("breaker-threshold", 8, "consecutive shed computations before the augment breaker opens (0 disables)")
+		breaker     = flag.Int("breaker-threshold", 8, "consecutive failures before a breaker opens (serving core, or per-replica with -replicas; 0 disables)")
 		cooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "breaker open->half-open window")
 		degrade     = flag.Bool("degrade", true, "fail open: forward the un-augmented prompt instead of answering 503 when augmentation sheds (flagged X-PAS-Degraded)")
 		debugAddr   = flag.String("debug-addr", "", "separate listener for pprof, /debug/traces and /metricsz (empty disables)")
 		traceSample = flag.Int("trace-sample", 1, "head-sample 1 in N traces; errored and slow traces are always kept (negative keeps only those)")
+
+		// Cluster mode.
+		replicas      = flag.String("replicas", "", "comma-separated passerve base URLs; set to route augmentations across a fleet by consistent hash")
+		vnodes        = flag.Int("vnodes", ring.DefaultVNodes, "virtual nodes per replica on the routing ring")
+		hedge         = flag.Bool("hedge", false, "hedge slow owner replicas against their ring successor")
+		hedgeMin      = flag.Duration("hedge-min", 20*time.Millisecond, "lower clamp on the adaptive hedge delay")
+		hedgeMax      = flag.Duration("hedge-max", 2*time.Second, "upper clamp on the adaptive hedge delay")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "target spacing between health probes of each replica")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
+		downAfter     = flag.Int("down-after", 3, "consecutive failures that evict a replica from the ring")
+		ringTimeout   = flag.Duration("ring-timeout", 5*time.Second, "timeout for one augmentation attempt against one replica")
 	)
 	flag.Parse()
 
-	sys, err := pas.LoadSystem(*model)
-	if err != nil {
-		log.Fatalf("%v (train one with pastrain)", err)
+	// Fail configuration errors at startup with a clear message, not as
+	// the first request's 502: the upstream must be a bare absolute
+	// http(s) URL (the proxy only rewrites scheme/host, so a path here
+	// would be silently dropped), and every replica likewise.
+	if _, err := ring.NormalizeReplicas([]string{*upstream}); err != nil {
+		log.Fatalf("-upstream %q: must be a bare absolute http(s)://host[:port] URL", *upstream)
 	}
-	if err := sys.EnableServing(pas.ServingConfig{
-		CacheSize:        *cacheSize,
-		CacheTTL:         *cacheTTL,
-		MaxInFlight:      *maxInflight,
-		QueueDepth:       *queueDepth,
-		QueueWait:        *queueWait,
-		Retries:          *retries,
-		RetryBudget:      *retryBudget,
-		BreakerThreshold: *breaker,
-		BreakerCooldown:  *cooldown,
-		Degrade:          *degrade,
-	}); err != nil {
-		log.Fatal(err)
-	}
-	proxy, err := pas.NewProxy(sys, *upstream)
-	if err != nil {
-		log.Fatal(err)
-	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.TraceConfig{SampleEvery: *traceSample})
 	metrics := httpmw.NewMetrics()
 	metrics.Register(reg)
-	sys.RegisterMetrics(reg)
 	resilience.RegisterMetrics(reg)
 
-	logger := log.New(os.Stderr, "pasproxy: ", 0)
 	mux := http.NewServeMux()
+	var proxy *pas.Proxy
+
+	if *replicas != "" {
+		var urls []string
+		for _, r := range strings.Split(*replicas, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				urls = append(urls, r)
+			}
+		}
+		client, err := ring.NewClient(ring.Config{
+			Replicas:         urls,
+			VNodes:           *vnodes,
+			RequestTimeout:   *ringTimeout,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *cooldown,
+			Hedge:            *hedge,
+			HedgeMin:         *hedgeMin,
+			HedgeMax:         *hedgeMax,
+			Degrade:          *degrade,
+			Health: ring.HealthConfig{
+				ProbeInterval: *probeInterval,
+				ProbeTimeout:  *probeTimeout,
+				DownAfter:     *downAfter,
+			},
+		})
+		if err != nil {
+			log.Fatalf("-replicas: %v", err)
+		}
+		client.Start(ctx)
+		client.RegisterMetrics(reg)
+		if proxy, err = pas.NewProxyWith(client, *upstream); err != nil {
+			log.Fatal(err)
+		}
+		mux.Handle("/v1/stats", client.StatsHandler())
+		mux.Handle("/metricsz/cluster", client.MetricsRollup(reg, 0))
+		log.Printf("cluster mode: %d replicas, %d vnodes, hedging %v", len(urls), *vnodes, *hedge)
+	} else {
+		sys, err := pas.LoadSystem(*model)
+		if err != nil {
+			log.Fatalf("%v (train one with pastrain)", err)
+		}
+		if err := sys.EnableServing(pas.ServingConfig{
+			CacheSize:        *cacheSize,
+			CacheTTL:         *cacheTTL,
+			MaxInFlight:      *maxInflight,
+			QueueDepth:       *queueDepth,
+			QueueWait:        *queueWait,
+			Retries:          *retries,
+			RetryBudget:      *retryBudget,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *cooldown,
+			Degrade:          *degrade,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		sys.RegisterMetrics(reg)
+		if proxy, err = pas.NewProxy(sys, *upstream); err != nil {
+			log.Fatal(err)
+		}
+		mux.Handle("/v1/stats", sys.StatsHandler())
+		log.Printf("single-node mode (PAS base %s)", sys.BaseModel())
+	}
+
+	logger := log.New(os.Stderr, "pasproxy: ", 0)
 	mux.Handle("/", httpmw.Chain(proxy,
 		httpmw.Recover(logger),
 		httpmw.RequestID(),
@@ -100,13 +177,9 @@ func main() {
 		httpmw.Logging(logger),
 		metrics.Middleware(),
 	))
-	// Served locally, not proxied: the serving-core snapshot and the
-	// unified metrics (Prometheus text; ?format=json for the old shape).
-	mux.Handle("/v1/stats", sys.StatsHandler())
+	// Served locally, not proxied: the unified metrics (Prometheus text;
+	// ?format=json for the old shape). /v1/stats is mounted per mode.
 	mux.Handle("/metricsz", reg.HandlerWithJSON(metrics.Handler()))
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if *debugAddr != "" {
 		log.Printf("debug endpoints (pprof, /debug/traces, /metricsz) on %s", *debugAddr)
@@ -117,7 +190,7 @@ func main() {
 		}()
 	}
 
-	log.Printf("augmenting traffic to %s on %s (PAS base %s)", *upstream, *addr, sys.BaseModel())
+	log.Printf("augmenting traffic to %s on %s", *upstream, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

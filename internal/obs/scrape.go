@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format WriteText emits:
+// a parser for Prometheus text format 0.0.4 and a merger that combines
+// several members' scrapes into one instance-labeled exposition. It
+// exists so a fleet fronted by one proxy can serve a cluster-wide
+// /metricsz without adding a metrics dependency — the proxy scrapes
+// each member, parses, tags with instance, and re-renders.
+
+// Family is one parsed metric family: the # HELP / # TYPE header plus
+// every sample line attributed to it. Histogram families keep their
+// _bucket/_sum/_count series as plain samples (Sample.Suffix records
+// which), which is exactly what a re-render or a sum needs.
+type Family struct {
+	Name string
+	Help string
+	// Type is the TYPE line's value — counter, gauge, histogram,
+	// summary, or untyped when the exposition never declared one.
+	Type    string
+	Samples []Sample
+}
+
+// Sample is one exposition line. For histogram series Suffix is
+// "_bucket", "_sum" or "_count" and Name is the family name; plain
+// families have an empty Suffix.
+type Sample struct {
+	Name   string
+	Suffix string
+	Labels []Attr
+	Value  float64
+}
+
+// ParseExposition reads a text exposition and groups samples into
+// families. Unknown comment lines are skipped; a malformed sample or
+// label set is an error naming the line. The zero exposition parses to
+// an empty slice.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	byName := make(map[string]*Family)
+	var order []string
+	fam := func(name string) *Family {
+		f, ok := byName[name]
+		if !ok {
+			f = &Family{Name: name, Type: "untyped"}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			kind, rest, _ := cutSpace(rest)
+			switch kind {
+			case "HELP":
+				name, help, _ := cutSpace(rest)
+				if name == "" {
+					return nil, fmt.Errorf("obs: line %d: HELP without a metric name", lineNo)
+				}
+				fam(name).Help = unescapeHelp(help)
+			case "TYPE":
+				name, typ, _ := cutSpace(rest)
+				if name == "" || typ == "" {
+					return nil, fmt.Errorf("obs: line %d: TYPE needs a name and a type", lineNo)
+				}
+				fam(name).Type = typ
+			default:
+				// Plain comment; the format allows them anywhere.
+			}
+			continue
+		}
+
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		// Histogram/summary series carry suffixed sample names; fold
+		// them into the declared base family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suf)
+			if base == s.Name {
+				continue
+			}
+			if f, ok := byName[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				s.Suffix = suf
+				s.Name = base
+				break
+			}
+		}
+		fam(s.Name).Samples = append(fam(s.Name).Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+
+	out := make([]Family, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out, nil
+}
+
+// parseSampleLine splits `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("sample %q has no metric name", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	// fields[1], when present, is a timestamp; the merge is a snapshot
+	// so it is deliberately dropped.
+	return s, nil
+}
+
+// labelBlockEnd finds the index of the closing brace of a label block
+// starting at s[0] == '{', honoring quoted strings and escapes.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseLabels parses the inside of a {k="v",...} block.
+func parseLabels(s string) ([]Attr, error) {
+	var out []Attr
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q missing '='", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, fmt.Errorf("label %q value unterminated", key)
+			}
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(rest[i+1])
+				default:
+					b.WriteByte(c)
+					b.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out = append(out, Attr{Key: key, Value: b.String()})
+		rest = strings.TrimSpace(rest[i:])
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimSpace(rest[1:])
+		}
+	}
+	return out, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// ScrapedExposition is one member's parsed /metricsz, tagged with the
+// instance identity the merge stamps onto every sample.
+type ScrapedExposition struct {
+	Instance string
+	Families []Family
+}
+
+// MergeExpositions combines several members' expositions into one: each
+// sample gains an instance="<member>" label (prepended, so a family's
+// samples group by member in the sorted output) and families with the
+// same name concatenate. HELP and TYPE come from the first member that
+// declared them. Series are kept per-instance rather than summed —
+// gauges and histogram buckets do not aggregate meaningfully without
+// knowing each family's semantics, and a rollup that preserves the
+// per-member series loses nothing.
+func MergeExpositions(members []ScrapedExposition) []Family {
+	byName := make(map[string]*Family)
+	var order []string
+	for _, m := range members {
+		for _, f := range m.Families {
+			out, ok := byName[f.Name]
+			if !ok {
+				out = &Family{Name: f.Name, Help: f.Help, Type: f.Type}
+				byName[f.Name] = out
+				order = append(order, f.Name)
+			}
+			if out.Help == "" {
+				out.Help = f.Help
+			}
+			if out.Type == "untyped" && f.Type != "" {
+				out.Type = f.Type
+			}
+			for _, s := range f.Samples {
+				tagged := Sample{
+					Name:   s.Name,
+					Suffix: s.Suffix,
+					Value:  s.Value,
+					Labels: make([]Attr, 0, len(s.Labels)+1),
+				}
+				tagged.Labels = append(tagged.Labels, Attr{Key: "instance", Value: m.Instance})
+				tagged.Labels = append(tagged.Labels, s.Labels...)
+				out.Samples = append(out.Samples, tagged)
+			}
+		}
+	}
+	fams := make([]Family, 0, len(order))
+	for _, n := range order {
+		fams = append(fams, *byName[n])
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams
+}
+
+// WriteFamilies renders parsed (or merged) families back to text
+// exposition format, deterministically: families sorted by name,
+// samples by suffix then label signature.
+func WriteFamilies(w io.Writer, fams []Family) error {
+	sorted := append([]Family(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for _, f := range sorted {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+		samples := append([]Sample(nil), f.Samples...)
+		sort.SliceStable(samples, func(i, j int) bool {
+			if samples[i].Suffix != samples[j].Suffix {
+				return suffixRank(samples[i].Suffix) < suffixRank(samples[j].Suffix)
+			}
+			return labelSignature(samples[i].Labels) < labelSignature(samples[j].Labels)
+		})
+		for _, s := range samples {
+			b.WriteString(s.Name)
+			b.WriteString(s.Suffix)
+			writeLabels(&b, s.Labels, false, 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func suffixRank(s string) int {
+	switch s {
+	case "_bucket":
+		return 0
+	case "_sum":
+		return 1
+	case "_count":
+		return 2
+	}
+	return 3
+}
+
+// cutSpace splits at the first run of spaces/tabs.
+func cutSpace(s string) (head, tail string, found bool) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t"), true
+}

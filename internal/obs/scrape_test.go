@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// registryText renders a registry the same way /metricsz does.
+func registryText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestParseRoundTrip: ParseExposition consumes exactly what WriteText
+// produces — counters, labeled gauges, histogram series and escaped
+// label values all survive the trip.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pas_requests_total", "Total requests.").Add(41)
+	r.GaugeVec("pas_member_state", "Member state.", "replica").With(`http://a:1`).Set(2)
+	r.GaugeVec("pas_member_state", "Member state.", "replica").With("weird\"quote\nnewline\\slash").Set(1)
+	h := r.Histogram("pas_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	fams, err := ParseExposition(strings.NewReader(registryText(t, r)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	c, ok := byName["pas_requests_total"]
+	if !ok || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 41 {
+		t.Fatalf("counter family wrong: %+v", c)
+	}
+	if c.Help != "Total requests." {
+		t.Fatalf("help = %q", c.Help)
+	}
+
+	g := byName["pas_member_state"]
+	if g.Type != "gauge" || len(g.Samples) != 2 {
+		t.Fatalf("gauge family wrong: %+v", g)
+	}
+	found := false
+	for _, s := range g.Samples {
+		if len(s.Labels) == 1 && s.Labels[0].Value == "weird\"quote\nnewline\\slash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip: %+v", g.Samples)
+	}
+
+	hist := byName["pas_latency_seconds"]
+	if hist.Type != "histogram" {
+		t.Fatalf("histogram type = %q", hist.Type)
+	}
+	// 2 finite buckets + +Inf bucket + sum + count = 5 series.
+	if len(hist.Samples) != 5 {
+		t.Fatalf("histogram series = %d, want 5: %+v", len(hist.Samples), hist.Samples)
+	}
+	for _, s := range hist.Samples {
+		if s.Suffix == "_count" && s.Value != 3 {
+			t.Fatalf("histogram count = %v, want 3", s.Value)
+		}
+		if s.Name != "pas_latency_seconds" {
+			t.Fatalf("histogram sample name %q not folded to family", s.Name)
+		}
+	}
+}
+
+// TestParseMalformed: broken sample lines fail with the line number
+// rather than silently dropping data.
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"pas_x{le=\"0.1\" 3",      // unterminated label block
+		"pas_x not-a-number",      // bad value
+		"pas_x{oops} 1",           // label without '='
+		"pas_x{k=\"v} 1",          // unterminated quote
+		"{} 1",                    // no metric name
+		"# TYPE pas_x\npas_x oop", // TYPE missing the type, then bad value
+	}
+	for _, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseExposition(%q) succeeded, want error", in)
+		}
+	}
+	// Empty input and bare comments are fine.
+	if fams, err := ParseExposition(strings.NewReader("\n# just a comment\n")); err != nil || len(fams) != 0 {
+		t.Fatalf("comment-only exposition: %v %v", fams, err)
+	}
+}
+
+// TestMergeExpositions: two members' scrapes fold into one exposition
+// where every series carries its instance label and both values are
+// present — and the merged output renders and re-parses cleanly.
+func TestMergeExpositions(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("pas_serving_cache_hits_total", "Cache hits.").Add(10)
+	r2.Counter("pas_serving_cache_hits_total", "Cache hits.").Add(4)
+	r2.Counter("pas_only_on_two_total", "Loner.").Add(1)
+
+	parse := func(r *Registry) []Family {
+		t.Helper()
+		fams, err := ParseExposition(strings.NewReader(registryText(t, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fams
+	}
+	merged := MergeExpositions([]ScrapedExposition{
+		{Instance: "http://a:1", Families: parse(r1)},
+		{Instance: "http://b:1", Families: parse(r2)},
+	})
+
+	byName := map[string]Family{}
+	for _, f := range merged {
+		byName[f.Name] = f
+	}
+	hits := byName["pas_serving_cache_hits_total"]
+	if len(hits.Samples) != 2 {
+		t.Fatalf("merged hits series = %d, want 2", len(hits.Samples))
+	}
+	got := map[string]float64{}
+	for _, s := range hits.Samples {
+		if len(s.Labels) == 0 || s.Labels[0].Key != "instance" {
+			t.Fatalf("sample missing leading instance label: %+v", s)
+		}
+		got[s.Labels[0].Value] = s.Value
+	}
+	if got["http://a:1"] != 10 || got["http://b:1"] != 4 {
+		t.Fatalf("merged values = %v", got)
+	}
+	if len(byName["pas_only_on_two_total"].Samples) != 1 {
+		t.Fatal("family present on one member only was lost")
+	}
+
+	var b strings.Builder
+	if err := WriteFamilies(&b, merged); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `pas_serving_cache_hits_total{instance="http://a:1"} 10`) {
+		t.Fatalf("rendered rollup missing instance series:\n%s", out)
+	}
+	reparsed, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged output does not re-parse: %v\n%s", err, out)
+	}
+	if len(reparsed) != len(merged) {
+		t.Fatalf("re-parse family count %d != %d", len(reparsed), len(merged))
+	}
+}

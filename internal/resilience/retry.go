@@ -157,6 +157,15 @@ func DoValue[T any](ctx context.Context, p Policy, fn func(ctx context.Context) 
 	return zero, lastErr
 }
 
+// Delay returns the backoff before retry number attempt+1 under the
+// policy's capped full-jitter envelope, for callers that run their own
+// loop (the ring health prober spaces probes of a down replica with it)
+// instead of going through Do. The shared jitter source applies, so
+// SeedJitter pins it for tests.
+func (p Policy) Delay(attempt int) time.Duration {
+	return p.withDefaults().backoff(attempt, nil)
+}
+
 // backoff picks the sleep before retry number attempt+1: the server's
 // Retry-After hint verbatim when err carries one (the server knows its
 // own recovery horizon better than our jitter does), otherwise full

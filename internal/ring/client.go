@@ -1,0 +1,494 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/serving"
+)
+
+// ErrNoReplicas is returned (fail-closed mode) when every replica is
+// Down and the ring is empty; with Config.Degrade the client returns
+// the raw prompt instead, flagged degraded.
+var ErrNoReplicas = errors.New("ring: no live replicas")
+
+// Config sizes the cluster augmentation client. Zero values select
+// defaults.
+type Config struct {
+	// Replicas are the passerve base URLs (e.g. http://10.0.0.1:8422).
+	// Required, deduplicated, trailing slashes stripped.
+	Replicas []string
+	// VNodes is the virtual-node count per replica on the routing ring.
+	// Default DefaultVNodes.
+	VNodes int
+	// Model scopes the shard key, mirroring the model dimension of the
+	// replica-side cache key (serving.Key). One cluster serves one
+	// model, so any constant — including "" — preserves locality; set
+	// it when one proxy fronts several model fleets.
+	Model string
+	// RequestTimeout bounds one augmentation attempt against one
+	// replica. Default 5s; the request context's deadline tightens it.
+	RequestTimeout time.Duration
+	// BreakerThreshold arms a per-replica circuit breaker: that many
+	// consecutive failed calls open it for BreakerCooldown. Default 5;
+	// negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is each breaker's open→half-open window.
+	// Default 2s.
+	BreakerCooldown time.Duration
+	// Hedge enables hedged reads: when the owner replica has not
+	// answered within the adaptive tail percentile, the same request
+	// races against the owner's successor on the ring. Locality
+	// survives because the hedge fires only for the slow tail — the
+	// common path still hits exactly the owner.
+	Hedge bool
+	// HedgeMin / HedgeMax clamp the adaptive hedge delay. Defaults
+	// 20ms / 2s.
+	HedgeMin, HedgeMax time.Duration
+	// Degrade fails open: when every candidate replica fails, return
+	// the raw prompt flagged degraded instead of an error — the same
+	// plug-and-play guarantee the single-node proxy gives.
+	Degrade bool
+	// Health configures the active prober.
+	Health HealthConfig
+	// HTTPClient carries augmentation and probe traffic; nil builds a
+	// default with sane connection pooling.
+	HTTPClient *http.Client
+}
+
+// replicaCounters are per-replica lifetime data-path counters.
+type replicaCounters struct {
+	requests int64 // successful augmentations served by this replica
+	errors   int64 // failed attempts against this replica
+}
+
+// Client routes augmentation requests across a replica fleet by
+// consistent hash of the serving cache key. It implements the same
+// AugmentContextDegraded contract as pas.System, so the reverse proxy
+// can swap an in-process system for a cluster without knowing the
+// difference. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	ring   *Ring
+	mem    *Membership
+	hedger *resilience.Hedger // nil when hedging is off
+	hc     *http.Client
+
+	mu       sync.Mutex
+	breakers map[string]*resilience.Breaker // nil map when disabled
+	counters map[string]*replicaCounters
+
+	requests  int64
+	failovers int64 // successes served by a non-owner replica
+	degraded  int64
+}
+
+// NewClient validates the replica list and builds the routing tier.
+// Call Start to begin active health checking; without it the membership
+// stays as observed by the data path only.
+func NewClient(cfg Config) (*Client, error) {
+	replicas, err := NormalizeReplicas(cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Replicas = replicas
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = 20 * time.Millisecond
+	}
+	if cfg.HedgeMax <= 0 {
+		cfg.HedgeMax = 2 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	c := &Client{
+		cfg:      cfg,
+		ring:     New(cfg.VNodes),
+		hc:       hc,
+		counters: make(map[string]*replicaCounters, len(replicas)),
+	}
+	c.mem = NewMembership(replicas, c.ring, hc, cfg.Health)
+	if cfg.BreakerThreshold > 0 {
+		c.breakers = make(map[string]*resilience.Breaker, len(replicas))
+		for _, r := range replicas {
+			c.breakers[r] = resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			})
+		}
+	}
+	for _, r := range replicas {
+		c.counters[r] = &replicaCounters{}
+	}
+	if cfg.Hedge {
+		c.hedger = &resilience.Hedger{MinDelay: cfg.HedgeMin, MaxDelay: cfg.HedgeMax}
+	}
+	return c, nil
+}
+
+// NormalizeReplicas validates a replica URL list up front — absolute
+// http(s) URLs, no path/query baggage — and returns it deduplicated
+// with trailing slashes stripped. Commands call it at flag-parse time
+// so a typo fails at startup with a clear message instead of as the
+// first request's 502.
+func NormalizeReplicas(replicas []string) ([]string, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("ring: at least one replica URL is required")
+	}
+	out := make([]string, 0, len(replicas))
+	seen := make(map[string]struct{}, len(replicas))
+	for _, r := range replicas {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		u, err := url.Parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("ring: replica URL %q: %w", r, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" || u.Host == "" {
+			return nil, fmt.Errorf("ring: replica URL %q must be absolute http(s)://host[:port]", r)
+		}
+		if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+			return nil, fmt.Errorf("ring: replica URL %q must be a bare base URL (no path or query)", r)
+		}
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Start launches the active health prober; it stops when ctx ends.
+func (c *Client) Start(ctx context.Context) { c.mem.Start(ctx) }
+
+// Membership exposes the health table (stats surfaces, tests).
+func (c *Client) Membership() *Membership { return c.mem }
+
+// Ring exposes the routing ring (stats surfaces, tests).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owner returns the replica that owns (prompt, salt) right now — the
+// one whose cache the request will warm.
+func (c *Client) Owner(prompt, salt string) (string, bool) {
+	return c.ring.Owner(serving.Key(prompt, salt, c.cfg.Model))
+}
+
+// result carries one successful remote augmentation.
+type result struct {
+	augmented string
+	degraded  bool // the replica itself served fail-open
+	replica   string
+}
+
+// wire shapes of POST /v1/augment, mirroring the root package's
+// AugmentRequest/AugmentResponse. Redeclared rather than imported: the
+// root package sits above internal/ring in the dependency order, and
+// the JSON field names are the stable contract.
+type augmentWireRequest struct {
+	Prompt string `json:"prompt"`
+	Salt   string `json:"salt,omitempty"`
+}
+
+type augmentWireResponse struct {
+	Augmented string `json:"augmented"`
+	Degraded  bool   `json:"degraded,omitempty"`
+}
+
+// AugmentContextDegraded routes one augmentation to the key's owner
+// replica (hedging to and failing over across ring successors), and
+// applies the fail-open policy when the whole fleet is unreachable. It
+// mirrors pas.System.AugmentContextDegraded so the proxy treats
+// in-process and clustered augmentation identically.
+func (c *Client) AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error) {
+	atomic.AddInt64(&c.requests, 1)
+	key := serving.Key(prompt, salt, c.cfg.Model)
+	cands := c.ring.Successors(key, 0) // live members, owner first
+	ctx, span := obs.StartSpan(ctx, "ring.route")
+	defer span.End()
+	if len(cands) > 0 {
+		span.SetAttr("ring.owner", cands[0])
+	}
+	res, err := c.tryCandidates(ctx, cands, prompt, salt)
+	if err == nil {
+		span.SetAttr("ring.replica", res.replica)
+		span.SetAttrBool("degraded", res.degraded)
+		if res.replica != "" && len(cands) > 0 && res.replica != cands[0] {
+			atomic.AddInt64(&c.failovers, 1)
+		}
+		return res.augmented, res.degraded, nil
+	}
+	span.SetError(err)
+	if c.cfg.Degrade {
+		// The plug-and-play guarantee: a routing-tier failure serves
+		// the raw prompt, never a PAS-side error.
+		atomic.AddInt64(&c.degraded, 1)
+		obs.AddEvent(ctx, "ring.degraded", "cause", err.Error())
+		span.SetAttrBool("degraded", true)
+		return prompt, true, nil
+	}
+	return "", false, err
+}
+
+// tryCandidates serves one request from the candidate list. The
+// primary attempt starts at the owner and walks successors on hard
+// failure; when hedging is on, a slow owner additionally races a
+// second attempt that starts at the first successor. The atomic cursor
+// hands each attempt its own starting offset.
+func (c *Client) tryCandidates(ctx context.Context, cands []string, prompt, salt string) (result, error) {
+	if len(cands) == 0 {
+		return result{}, ErrNoReplicas
+	}
+	var cursor int32
+	fn := func(ctx context.Context) (result, error) {
+		start := int(atomic.AddInt32(&cursor, 1)) - 1
+		if start >= len(cands) {
+			start = len(cands) - 1
+		}
+		var lastErr error
+		for i := start; i < len(cands); i++ {
+			res, err := c.callReplica(ctx, cands[i], prompt, salt)
+			if err == nil {
+				return res, nil
+			}
+			lastErr = err
+			if cerr := ctx.Err(); cerr != nil {
+				// The caller is gone (or the hedge lost the race);
+				// walking further replicas serves no one.
+				break
+			}
+		}
+		return result{}, lastErr
+	}
+	hedger := c.hedger
+	if len(cands) < 2 {
+		hedger = nil // nothing to hedge against
+	}
+	return resilience.Hedge(ctx, hedger, fn)
+}
+
+// callReplica performs one POST /v1/augment against one replica,
+// through its circuit breaker, reporting transport reachability to the
+// membership table.
+func (c *Client) callReplica(ctx context.Context, replica, prompt, salt string) (result, error) {
+	var done func(bool)
+	if b := c.breakerFor(replica); b != nil {
+		var berr error
+		done, berr = b.Allow()
+		if berr != nil {
+			return result{}, fmt.Errorf("ring: replica %s: %w", replica, berr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	ctx, span := obs.StartSpan(ctx, "ring.augment")
+	span.SetAttr("ring.replica", replica)
+	defer span.End()
+
+	res, err := c.doAugment(ctx, replica, prompt, salt)
+	if err != nil {
+		span.SetError(err)
+		if done != nil {
+			// Terminal errors (the caller cancelling, 4xx) say nothing
+			// about replica health; everything else feeds the breaker.
+			done(resilience.Classify(err) == resilience.Terminal)
+		}
+		c.count(replica, false)
+		return result{}, err
+	}
+	if done != nil {
+		done(true)
+	}
+	c.count(replica, true)
+	span.SetAttrBool("degraded", res.degraded)
+	return res, nil
+}
+
+// doAugment is the bare HTTP exchange.
+func (c *Client) doAugment(ctx context.Context, replica, prompt, salt string) (result, error) {
+	body, err := json.Marshal(augmentWireRequest{Prompt: prompt, Salt: salt})
+	if err != nil {
+		return result{}, fmt.Errorf("ring: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/v1/augment", bytes.NewReader(body))
+	if err != nil {
+		return result{}, fmt.Errorf("ring: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	// The replica continues this trace, so one trace id spans
+	// proxy→replica→(replica-side serving core).
+	obs.Inject(ctx, req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.mem.Observe(replica, err)
+		return result{}, fmt.Errorf("ring: replica %s: %w", replica, err)
+	}
+	defer resp.Body.Close()
+	// Reachable at the transport level — HTTP-level shedding (503) is
+	// breaker food, not a membership failure.
+	c.mem.Observe(replica, nil)
+	if resp.StatusCode != http.StatusOK {
+		// Read a bounded slice of the error body for the message, and
+		// classify so the breaker and retry layers treat 503 as
+		// overload and 4xx as terminal.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("ring: replica %s: status %d: %s", replica, resp.StatusCode, bytes.TrimSpace(msg))
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			return result{}, resilience.AsOverload(err)
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return result{}, resilience.AsTerminal(err)
+		}
+		return result{}, err
+	}
+	var wire augmentWireResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&wire); err != nil {
+		return result{}, fmt.Errorf("ring: replica %s: decoding response: %w", replica, err)
+	}
+	deg := wire.Degraded || resp.Header.Get("X-PAS-Degraded") == "1"
+	return result{augmented: wire.Augmented, degraded: deg, replica: replica}, nil
+}
+
+// breakerFor returns the replica's breaker, nil when disabled.
+func (c *Client) breakerFor(replica string) *resilience.Breaker {
+	if c.breakers == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breakers[replica]
+}
+
+// count records one data-path outcome for a replica.
+func (c *Client) count(replica string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rc, exists := c.counters[replica]
+	if !exists {
+		return
+	}
+	if ok {
+		rc.requests++
+	} else {
+		rc.errors++
+	}
+}
+
+// ReplicaStats is one replica's data-path snapshot.
+type ReplicaStats struct {
+	URL string `json:"url"`
+	// Requests counts augmentations this replica served; Errors counts
+	// failed attempts against it (breaker-open refusals included).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// Stats is the cluster client's snapshot, shaped for GET /v1/stats.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Failovers int64 `json:"failovers"`
+	Degraded  int64 `json:"degraded"`
+	// Live is the routable member count; Members the full health table.
+	Live    int            `json:"live"`
+	Members []MemberStatus `json:"members"`
+	// Replicas reports data-path traffic per replica, in replica order.
+	Replicas []ReplicaStats    `json:"replicas"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Hedging  bool              `json:"hedging"`
+}
+
+// Stats returns a monitoring snapshot.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		Requests:  atomic.LoadInt64(&c.requests),
+		Failovers: atomic.LoadInt64(&c.failovers),
+		Degraded:  atomic.LoadInt64(&c.degraded),
+		Live:      c.mem.Live(),
+		Members:   c.mem.Snapshot(),
+		Hedging:   c.hedger != nil,
+	}
+	c.mu.Lock()
+	for _, r := range c.cfg.Replicas {
+		rc := c.counters[r]
+		s.Replicas = append(s.Replicas, ReplicaStats{URL: r, Requests: rc.requests, Errors: rc.errors})
+	}
+	breakers := make(map[string]*resilience.Breaker, len(c.breakers))
+	for u, b := range c.breakers {
+		breakers[u] = b
+	}
+	c.mu.Unlock()
+	if len(breakers) > 0 {
+		s.Breakers = make(map[string]string, len(breakers))
+		for u, b := range breakers {
+			s.Breakers[u] = b.State().String()
+		}
+	}
+	return s
+}
+
+// StatsHandler serves the snapshot as JSON; pasproxy mounts it at
+// GET /v1/stats in cluster mode.
+func (c *Client) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Stats()); err != nil {
+			obs.AddEvent(r.Context(), "ring.stats_write_error", "cause", err.Error())
+		}
+	})
+}
+
+// RegisterMetrics exposes the routing tier on reg under the pas_ring_
+// namespace, read from Stats at scrape time.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		s := c.Stats()
+		e.Counter("pas_ring_requests_total", "Requests entering the cluster routing tier.", float64(s.Requests))
+		e.Counter("pas_ring_failovers_total", "Requests served by a non-owner replica.", float64(s.Failovers))
+		e.Counter("pas_ring_degraded_total", "Requests served fail-open after the whole fleet failed.", float64(s.Degraded))
+		e.Gauge("pas_ring_live_members", "Members currently routable (up or suspect).", float64(s.Live))
+		for _, m := range s.Members {
+			state := 0.0
+			switch m.State {
+			case "suspect":
+				state = 1
+			case "down":
+				state = 2
+			}
+			e.Gauge("pas_ring_member_state", "Member health (0 up, 1 suspect, 2 down).", state, "replica", m.URL)
+			e.Counter("pas_ring_probes_total", "Health probes issued.", float64(m.Probes), "replica", m.URL)
+			e.Counter("pas_ring_probe_failures_total", "Health probes failed.", float64(m.ProbeFails), "replica", m.URL)
+			e.Counter("pas_ring_member_downs_total", "Evictions of the member from the ring.", float64(m.Downs), "replica", m.URL)
+		}
+		for _, r := range s.Replicas {
+			e.Counter("pas_ring_replica_requests_total", "Augmentations served, by replica.", float64(r.Requests), "replica", r.URL)
+			e.Counter("pas_ring_replica_errors_total", "Failed attempts, by replica.", float64(r.Errors), "replica", r.URL)
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package ring
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// State is a member's health position. Transitions:
+//
+//	Up ──probe/request failure──▶ Suspect ──DownAfter consecutive──▶ Down
+//	any ──probe/request success──▶ Up
+//
+// Up and Suspect members stay on the routing ring (a suspect member is
+// probably alive — one lost probe should not reshuffle 1/N of the key
+// space); Down members are removed, which is what moves their keys to
+// successors. A Down member keeps being probed at backed-off intervals
+// and rejoins the ring on its first successful probe.
+type State int
+
+const (
+	// StateUp: the member answers probes; route to it.
+	StateUp State = iota
+	// StateSuspect: recent failures below the Down threshold; still
+	// routed, but one more failure streak away from eviction.
+	StateSuspect
+	// StateDown: evicted from the ring; probed on backoff until it
+	// recovers.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthConfig sizes the active health checker. Zero values select
+// defaults.
+type HealthConfig struct {
+	// ProbeInterval is the target spacing between probes of a healthy
+	// member; the actual sleep is jittered over [interval/2, interval)
+	// so a fleet of probers decorrelates. Default 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request. Default 1s.
+	ProbeTimeout time.Duration
+	// ProbePath is the status endpoint probed on each member. Default
+	// /v1/status (served by passerve and pasllm alike).
+	ProbePath string
+	// DownAfter is the consecutive-failure count that evicts a member
+	// from the ring. Default 3.
+	DownAfter int
+	// Now injects the clock for state timestamps; tests pin it.
+	// Default time.Now.
+	Now func() time.Time
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbePath == "" {
+		c.ProbePath = "/v1/status"
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// member is one replica's health record.
+type member struct {
+	url     string
+	state   State
+	fails   int    // consecutive failures since the last success
+	lastErr string // most recent failure, for stats
+	since   time.Time
+
+	probes     int64
+	probeFails int64
+	downs      int64 // Suspect->Down transitions
+}
+
+// Membership tracks replica health and keeps the routing ring in sync:
+// only members not Down are on the ring. Safe for concurrent use.
+type Membership struct {
+	ring *Ring
+	cfg  HealthConfig
+	hc   *http.Client
+
+	mu      sync.Mutex
+	members map[string]*member
+	order   []string // stable iteration order for snapshots
+}
+
+// NewMembership creates a table over replicas, all initially Up and on
+// the ring (optimistic start: the first probe sweep corrects it within
+// one interval, and routing to a briefly-dead member degrades per
+// request rather than blocking startup). hc may be nil for a default
+// client; its transport is shared by probes only — the data path has
+// its own client.
+func NewMembership(replicas []string, ring *Ring, hc *http.Client, cfg HealthConfig) *Membership {
+	cfg = cfg.withDefaults()
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	m := &Membership{
+		ring:    ring,
+		cfg:     cfg,
+		hc:      hc,
+		members: make(map[string]*member, len(replicas)),
+	}
+	now := cfg.Now()
+	for _, r := range replicas {
+		if _, dup := m.members[r]; dup {
+			continue
+		}
+		m.members[r] = &member{url: r, state: StateUp, since: now}
+		m.order = append(m.order, r)
+	}
+	ring.SetMembers(m.order)
+	return m
+}
+
+// Start launches one probe goroutine per member; they stop when ctx
+// ends. Call at most once.
+func (m *Membership) Start(ctx context.Context) {
+	m.mu.Lock()
+	urls := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	for _, u := range urls {
+		go m.probeLoop(ctx, u)
+	}
+}
+
+// probeLoop probes one member forever. Healthy members are probed every
+// ProbeInterval with jitter; a failing member's probes back off on the
+// capped full-jitter envelope of resilience.Policy, so a dead replica
+// costs a bounded probe rate instead of a tight reconnect loop.
+func (m *Membership) probeLoop(ctx context.Context, url string) {
+	healthy := resilience.Policy{
+		BaseDelay: m.cfg.ProbeInterval / 2,
+		MaxDelay:  m.cfg.ProbeInterval / 2,
+	}
+	failing := resilience.Policy{
+		BaseDelay: m.cfg.ProbeInterval,
+		MaxDelay:  8 * m.cfg.ProbeInterval,
+	}
+	for {
+		fails := m.failCount(url)
+		var d time.Duration
+		if fails == 0 {
+			// Jittered over [interval/2, interval): Delay(0) is full
+			// jitter over [0, interval/2).
+			d = m.cfg.ProbeInterval/2 + healthy.Delay(0)
+		} else {
+			d = failing.Delay(fails - 1)
+			if min := m.cfg.ProbeInterval / 2; d < min {
+				d = min
+			}
+		}
+		if err := resilience.SleepContext(ctx, d); err != nil {
+			return
+		}
+		m.ProbeOne(ctx, url)
+	}
+}
+
+// ProbeOne probes one member once and applies the state transition.
+// Exported so callers can force a synchronous sweep (startup, tests).
+func (m *Membership) ProbeOne(ctx context.Context, url string) {
+	// The probe runs without the table lock: a slow replica must not
+	// stall snapshots or the data path's health observations.
+	err := m.probe(ctx, url)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[url]
+	if !ok {
+		return
+	}
+	mem.probes++
+	if err != nil {
+		mem.probeFails++
+	}
+	m.observeLocked(mem, err)
+}
+
+// ProbeAll sweeps every member once, synchronously.
+func (m *Membership) ProbeAll(ctx context.Context) {
+	m.mu.Lock()
+	urls := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	for _, u := range urls {
+		m.ProbeOne(ctx, u)
+	}
+}
+
+// probe issues one GET ProbePath and reports whether the member looks
+// alive: any 2xx is healthy, everything else (or a transport error) is
+// a failure.
+func (m *Membership) probe(ctx context.Context, url string) error {
+	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+m.cfg.ProbePath, nil)
+	if err != nil {
+		return fmt.Errorf("ring: building probe: %w", err)
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("ring: probe %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	// Drain so the transport can reuse the connection for the next
+	// probe; health is the status code.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("ring: probe %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// Observe feeds a data-path outcome into the health table: the augment
+// client calls it with transport-level results so a dead replica is
+// suspected at request speed instead of waiting for the next probe.
+// err nil marks the member reachable; non-nil counts like a failed
+// probe. HTTP-level overload (a live replica shedding) must NOT be
+// reported here — shedding is what breakers are for.
+func (m *Membership) Observe(url string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[url]
+	if !ok {
+		return
+	}
+	m.observeLocked(mem, err)
+}
+
+// observeLocked applies one observation. Caller holds m.mu.
+func (m *Membership) observeLocked(mem *member, err error) {
+	now := m.cfg.Now()
+	if err == nil {
+		wasDown := mem.state == StateDown
+		if mem.state != StateUp {
+			mem.state = StateUp
+			mem.since = now
+		}
+		mem.fails = 0
+		mem.lastErr = ""
+		if wasDown {
+			m.ring.Add(mem.url)
+		}
+		return
+	}
+	mem.fails++
+	mem.lastErr = err.Error()
+	switch mem.state {
+	case StateUp:
+		mem.state = StateSuspect
+		mem.since = now
+	case StateSuspect:
+		if mem.fails >= m.cfg.DownAfter {
+			mem.state = StateDown
+			mem.since = now
+			mem.downs++
+			m.ring.Remove(mem.url)
+		}
+	case StateDown:
+		// Already evicted; the streak just keeps the backoff growing.
+	}
+}
+
+// failCount returns a member's consecutive-failure streak.
+func (m *Membership) failCount(url string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.members[url]; ok {
+		return mem.fails
+	}
+	return 0
+}
+
+// MemberStatus is one member's snapshot, shaped for JSON stats bodies.
+type MemberStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// Fails is the consecutive-failure streak; 0 for a healthy member.
+	Fails   int    `json:"fails,omitempty"`
+	LastErr string `json:"last_error,omitempty"`
+	// Probes / ProbeFails are lifetime probe counters; Downs counts
+	// evictions from the ring.
+	Probes     int64 `json:"probes"`
+	ProbeFails int64 `json:"probe_fails"`
+	Downs      int64 `json:"downs"`
+}
+
+// Snapshot returns every member's status in the stable replica order.
+func (m *Membership) Snapshot() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberStatus, 0, len(m.order))
+	for _, u := range m.order {
+		mem := m.members[u]
+		out = append(out, MemberStatus{
+			URL:        mem.url,
+			State:      mem.state.String(),
+			Fails:      mem.fails,
+			LastErr:    mem.lastErr,
+			Probes:     mem.probes,
+			ProbeFails: mem.probeFails,
+			Downs:      mem.downs,
+		})
+	}
+	return out
+}
+
+// Live returns how many members are currently routable (not Down).
+func (m *Membership) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, mem := range m.members {
+		if mem.state != StateDown {
+			n++
+		}
+	}
+	return n
+}

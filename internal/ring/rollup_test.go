@@ -1,0 +1,61 @@
+package ring
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsRollup: the cluster /metricsz merges live members'
+// expositions under instance labels, marks the dead member's scrape as
+// failed, and folds in the proxy's own registry.
+func TestMetricsRollup(t *testing.T) {
+	mkMember := func(hits float64) *httptest.Server {
+		reg := obs.NewRegistry()
+		reg.Counter("pas_serving_cache_hits_total", "Cache hits.").Add(hits)
+		mux := http.NewServeMux()
+		mux.Handle("/metricsz", reg.Handler())
+		mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	m1, m2 := mkMember(7), mkMember(3)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	c, err := NewClient(Config{Replicas: []string{m1.URL, m2.URL, dead.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := obs.NewRegistry()
+	local.Counter("pas_ring_requests_total", "Routing requests.").Add(10)
+
+	rec := httptest.NewRecorder()
+	c.MetricsRollup(local, 0).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricsz/cluster", nil))
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		`pas_serving_cache_hits_total{instance="` + m1.URL + `"} 7`,
+		`pas_serving_cache_hits_total{instance="` + m2.URL + `"} 3`,
+		`pas_cluster_scrape_ok{instance="` + dead.URL + `"} 0`,
+		`pas_cluster_scrape_ok{instance="` + m1.URL + `"} 1`,
+		`pas_ring_requests_total{instance="proxy"} 10`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("rollup missing %q:\n%s", want, body)
+		}
+	}
+	if got := rec.Header().Get("Content-Type"); got != obs.TextContentType {
+		t.Fatalf("content type %q", got)
+	}
+	// The merged output must itself be a valid exposition.
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("rollup output does not parse: %v", err)
+	}
+}

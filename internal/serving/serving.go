@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -178,11 +179,33 @@ func New(fn Func, cfg Config) (*Core, error) {
 	return c, nil
 }
 
-// key joins the cache/dedup dimensions with NUL separators; prompts are
-// free text, so a plain concatenation would let ("a", "bc") collide
-// with ("ab", "c").
-func key(prompt, salt, model string) string {
+// Key is the normalized cache/dedup key: the (prompt, salt, model)
+// dimensions joined with NUL separators. Prompts are free text, so a
+// plain concatenation would let ("a", "bc") collide with ("ab", "c").
+//
+// It is exported because the key doubles as the shard key of the
+// cluster routing tier (internal/ring): the ring hashes exactly these
+// bytes, so a request routed to a replica lands on the same key the
+// replica's own cache uses — byte-for-byte agreement is what gives the
+// cluster its per-key cache locality.
+func Key(prompt, salt, model string) string {
 	return prompt + "\x00" + salt + "\x00" + model
+}
+
+// SplitKey inverts Key: it splits at the first two NUL separators, so
+// the round trip is exact whenever prompt and salt are NUL-free (the
+// invariant every caller upholds — both come from JSON text fields).
+// ok is false when k is not a well-formed key (fewer than two NULs).
+func SplitKey(k string) (prompt, salt, model string, ok bool) {
+	i := strings.Index(k, "\x00")
+	if i < 0 {
+		return "", "", "", false
+	}
+	j := strings.Index(k[i+1:], "\x00")
+	if j < 0 {
+		return "", "", "", false
+	}
+	return k[:i], k[i+1 : i+1+j], k[i+1+j+1:], true
 }
 
 // Do serves one complement request through cache, dedup, and
@@ -196,7 +219,7 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 		return "", err // client already gone; don't compute for the dead
 	}
 	start := c.cfg.Now()
-	k := key(prompt, salt, model)
+	k := Key(prompt, salt, model)
 	ctx, span := obs.StartSpan(ctx, "serving.do")
 	defer span.End()
 

@@ -167,7 +167,7 @@ func TestCacheEviction(t *testing.T) {
 func TestConcurrentIdenticalPromptsComputeOnce(t *testing.T) {
 	const followers = 31
 	var calls int64
-	k := key("same prompt", "s", "m")
+	k := Key("same prompt", "s", "m")
 	var c *Core
 	fn := func(prompt, salt string) string {
 		atomic.AddInt64(&calls, 1)

@@ -25,15 +25,35 @@ import (
 //
 // Non-chat paths (model listings, health checks) pass through untouched.
 type Proxy struct {
-	system   *System
+	system   Augmenter
 	upstream *url.URL
 	rp       *httputil.ReverseProxy
 }
 
-// NewProxy creates a proxy forwarding to upstreamURL.
+// Augmenter is the augmentation source a Proxy fronts. Two
+// implementations exist: *System (in-process augmentation through the
+// serving core) and ring.Client (consistent-hash routing across a
+// passerve replica fleet). The degraded result reports a fail-open
+// fallback — the prompt went through un-augmented — which the proxy
+// surfaces as X-PAS-Degraded rather than hiding.
+type Augmenter interface {
+	AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error)
+}
+
+// NewProxy creates a proxy augmenting via the in-process system.
 func NewProxy(system *System, upstreamURL string) (*Proxy, error) {
 	if system == nil {
 		return nil, fmt.Errorf("pas: nil system")
+	}
+	return NewProxyWith(system, upstreamURL)
+}
+
+// NewProxyWith creates a proxy over any augmentation source — the
+// cluster client, a test fake — forwarding non-augmented traffic to
+// upstreamURL.
+func NewProxyWith(system Augmenter, upstreamURL string) (*Proxy, error) {
+	if system == nil {
+		return nil, fmt.Errorf("pas: nil augmenter")
 	}
 	u, err := url.Parse(upstreamURL)
 	if err != nil {

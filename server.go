@@ -214,6 +214,7 @@ func IsOverloaded(err error) bool { return serving.Overloaded(err) }
 //
 //	POST /v1/augment {"prompt": "..."} -> AugmentResponse
 //	GET  /v1/stats                     -> serving-core snapshot (enabled cores)
+//	GET  /v1/status                    -> {"status":"ok","model":...} (ring health probes)
 //	GET  /healthz                      -> 200 "ok"
 //
 // The handler is safe for concurrent use.
@@ -221,11 +222,23 @@ func (s *System) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/augment", s.handleAugment)
 	mux.Handle("/v1/stats", s.StatsHandler())
+	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleStatus is the liveness probe the cluster membership table polls
+// (ring.HealthConfig.ProbePath): any 2xx means "route to me". It is
+// deliberately cheap — no serving-core counters, no locks — because a
+// fleet of probers hits it continuously.
+func (s *System) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Model  string `json:"model"`
+	}{Status: "ok", Model: s.BaseModel()})
 }
 
 // StatsHandler serves the serving core's snapshot as JSON (mount at
