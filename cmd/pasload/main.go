@@ -15,15 +15,28 @@
 // given -corpus-seed) or read from -prompts-file, one prompt per line.
 // Key selection is zipfian by default (-skew uniform for the cold
 // path), seeded by -seed so two runs replay the identical sequence.
+//
+// With -churn the run becomes a rolling-restart chaos drill: while the
+// load replays at the configured rate, every -replicas member is
+// drained in sequence over POST /v1/drain (authenticated by
+// -admin-token when the fleet requires it) with exit=true, and the run
+// waits -churn-rejoin-timeout for the process supervisor to restart it
+// and /v1/status to answer healthy again before rolling the next one.
+// The report then carries the churn timeline plus pre-churn and
+// recovery cache-hit windows; shed 503s are counted separately from
+// errors and do not fail the run.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +69,16 @@ func main() {
 		corpusSeed  = flag.Int64("corpus-seed", 1, "synthetic corpus seed")
 		promptsFile = flag.String("prompts-file", "", "read the corpus from this file, one prompt per line")
 		report      = flag.String("report", "", "write the JSON report here ('-' or empty = stdout)")
+
+		churn         = flag.Bool("churn", false, "roll every -replicas member (drain via POST /v1/drain, await supervisor restart) while the load runs")
+		adminToken    = flag.String("admin-token", "", "admin token sent with drain requests")
+		churnWarmup   = flag.Duration("churn-warmup", 2*time.Second, "load before the first drain, filling caches")
+		churnMeasure  = flag.Duration("churn-measure", 0, "pre-churn hit-ratio window (0 = same as -churn-cooldown)")
+		churnLinger   = flag.Duration("churn-linger", time.Second, "wait after each drain before the replica is considered gone")
+		churnDowntime = flag.Duration("churn-downtime", 500*time.Millisecond, "wait between kill and restart phases")
+		churnRejoin   = flag.Duration("churn-rejoin-timeout", 30*time.Second, "max wait for a rolled replica to answer /v1/status again")
+		churnSettle   = flag.Duration("churn-settle", time.Second, "load between one rejoin and the next drain")
+		churnCooldown = flag.Duration("churn-cooldown", 2*time.Second, "load after the last rejoin; the recovery hit-ratio window")
 	)
 	flag.Parse()
 
@@ -74,9 +97,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("replaying %d prompts against %s (%s mode, skew %s, %d workers)",
-		len(prompts), *target, *mode, *skew, *concurrency)
-	rep, err := loadgen.Run(ctx, loadgen.Config{
+	cfg := loadgen.Config{
 		Target:      *target,
 		Mode:        *mode,
 		Model:       *chatModel,
@@ -91,7 +112,44 @@ func main() {
 		Timeout:     *timeout,
 		Salt:        *salt,
 		Replicas:    replicaURLs,
-	})
+	}
+
+	var rep loadgen.Report
+	if *churn {
+		if len(replicaURLs) == 0 {
+			log.Fatal("-churn needs -replicas: the members to roll")
+		}
+		targets := make([]loadgen.ChurnTarget, 0, len(replicaURLs))
+		for _, u := range replicaURLs {
+			u := u
+			targets = append(targets, loadgen.ChurnTarget{
+				URL: u,
+				// Drain with exit=true: the replica advertises draining,
+				// quiesces, and exits; its supervisor restarts it. Kill
+				// and Restart stay nil — readiness polling observes the
+				// restart from the outside.
+				Drain: func(ctx context.Context) error {
+					return drainReplica(ctx, u, *adminToken)
+				},
+			})
+		}
+		log.Printf("rolling %d replicas under load against %s (%s mode, skew %s, %d workers)",
+			len(replicaURLs), *target, *mode, *skew, *concurrency)
+		rep, err = loadgen.RunWithChurn(ctx, cfg, loadgen.ChurnPlan{
+			Targets:       targets,
+			Warmup:        *churnWarmup,
+			Measure:       *churnMeasure,
+			DrainLinger:   *churnLinger,
+			DownTime:      *churnDowntime,
+			RejoinTimeout: *churnRejoin,
+			Settle:        *churnSettle,
+			Cooldown:      *churnCooldown,
+		})
+	} else {
+		log.Printf("replaying %d prompts against %s (%s mode, skew %s, %d workers)",
+			len(prompts), *target, *mode, *skew, *concurrency)
+		rep, err = loadgen.Run(ctx, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,17 +173,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("%d requests in %.2fs (%.1f QPS): p50 %.2fms p90 %.2fms p99 %.2fms, %d errors, %d degraded",
+	log.Printf("%d requests in %.2fs (%.1f QPS): p50 %.2fms p90 %.2fms p99 %.2fms, %d errors, %d degraded, %d shed",
 		rep.Requests, rep.DurationSeconds, rep.AchievedQPS,
-		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.Errors, rep.Degraded)
+		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.Errors, rep.Degraded, rep.Shed)
 	if rep.ClusterHits+rep.ClusterMisses > 0 {
 		log.Printf("cluster cache: %d hits / %d misses (ratio %.3f)",
 			rep.ClusterHits, rep.ClusterMisses, rep.ClusterHitRatio)
 	}
+	if rep.Churn != nil {
+		for _, e := range rep.Churn.Events {
+			suffix := ""
+			if e.Error != "" {
+				suffix = " ERROR: " + e.Error
+			}
+			log.Printf("churn +%5dms %-7s %s%s", e.AtMs, e.Phase, e.Replica, suffix)
+		}
+		log.Printf("hit ratio: pre-churn %.3f (%d lookups) -> recovery %.3f (%d lookups)",
+			rep.Churn.PreChurnHitRatio, rep.Churn.PreChurnLookups,
+			rep.Churn.RecoveryHitRatio, rep.Churn.RecoveryLookups)
+	}
+	// Shed 503s are deliberate availability events, not failures; only
+	// hard errors fail the run.
 	if rep.Errors > 0 {
 		log.Printf("first error: %s", rep.FirstError)
 		os.Exit(1)
 	}
+}
+
+// drainReplica asks one replica to drain and exit (its supervisor is
+// expected to restart it).
+func drainReplica(ctx context.Context, replica, token string) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	body := bytes.NewReader([]byte(`{"exit": true}`))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/v1/drain", body)
+	if err != nil {
+		return fmt.Errorf("pasload: building drain request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-PAS-Admin-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("pasload: draining %s: %w", replica, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("pasload: draining %s: status %d: %s", replica, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return nil
 }
 
 // loadCorpus reads prompts from a file or synthesises them.

@@ -26,8 +26,12 @@
 // cache. Replica health is probed at /v1/status (-probe-interval,
 // -probe-timeout); a member failing -down-after consecutive checks is
 // evicted from the ring — moving only its own keys — and rejoins on
-// recovery. -hedge races slow owners against their ring successor.
+// recovery. A replica announcing "draining" is routed around without
+// any failure bookkeeping and rejoins when its status reads ok again.
+// -hedge races slow owners against their ring successor.
 // GET /metricsz/cluster scrapes and merges every member's exposition.
+// The fleet is reshaped at runtime through /v1/cluster/replicas
+// (GET/POST/DELETE), enabled by -admin-token.
 //
 // With -degrade (default on) an augmentation the serving tier cannot
 // deliver is forwarded un-augmented — flagged X-PAS-Degraded and counted
@@ -85,6 +89,7 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
 		downAfter     = flag.Int("down-after", 3, "consecutive failures that evict a replica from the ring")
 		ringTimeout   = flag.Duration("ring-timeout", 5*time.Second, "timeout for one augmentation attempt against one replica")
+		adminToken    = flag.String("admin-token", "", "token for the /v1/cluster/replicas membership API (empty keeps it disabled)")
 	)
 	flag.Parse()
 
@@ -141,6 +146,10 @@ func main() {
 		}
 		mux.Handle("/v1/stats", client.StatsHandler())
 		mux.Handle("/metricsz/cluster", client.MetricsRollup(reg, 0))
+		mux.Handle("/v1/cluster/replicas", client.AdminHandler(*adminToken))
+		if *adminToken != "" {
+			log.Printf("membership admin API enabled at /v1/cluster/replicas")
+		}
 		log.Printf("cluster mode: %d replicas, %d vnodes, hedging %v", len(urls), *vnodes, *hedge)
 	} else {
 		sys, err := pas.LoadSystem(*model)

@@ -21,7 +21,15 @@
 // -breaker-cooldown), and with -degrade (default on) a request the
 // augmentation path still cannot serve is answered 200 with the raw
 // prompt — flagged X-PAS-Degraded and counted in /v1/stats — instead
-// of a 503. SIGINT/SIGTERM drain in-flight requests before exiting.
+// of a 503.
+//
+// Shutdown is graceful and router-aware. POST /v1/drain (guarded by
+// -admin-token when set) or SIGINT/SIGTERM first flips /v1/status to
+// "draining" and sheds new complement computations with 503 +
+// Retry-After while cache hits and in-flight work keep being served;
+// after -drain-linger (time for routing tiers to observe the drain)
+// the process quiesces the serving core and closes the listener,
+// bounded by -drain-deadline.
 package main
 
 import (
@@ -61,6 +69,9 @@ func main() {
 		degrade     = flag.Bool("degrade", true, "fail open: answer with the un-augmented prompt instead of 503 when augmentation sheds")
 		debugAddr   = flag.String("debug-addr", "", "separate listener for pprof, /debug/traces and /metricsz (empty disables)")
 		traceSample = flag.Int("trace-sample", 1, "head-sample 1 in N traces; errored and slow traces are always kept (negative keeps only those)")
+		adminToken  = flag.String("admin-token", "", "token required by POST /v1/drain (empty = unauthenticated)")
+		drainLinger = flag.Duration("drain-linger", time.Second, "time to advertise draining before closing the listener, so routers stop sending traffic")
+		drainWait   = flag.Duration("drain-deadline", 10*time.Second, "max total wait for in-flight and queued work to finish before exiting anyway")
 	)
 	flag.Parse()
 
@@ -99,6 +110,11 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	sys.SetAdminToken(*adminToken)
+	// An HTTP drain that asks for exit funnels into the same graceful
+	// path as a signal.
+	drainCh := make(chan struct{})
+	sys.OnDrain(func() { close(drainCh) })
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.TraceConfig{SampleEvery: *traceSample})
@@ -145,12 +161,24 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
-		log.Printf("signal received, draining in-flight requests...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
-		}
-		log.Printf("shut down cleanly")
+		log.Printf("signal received, draining...")
+	case <-drainCh:
+		log.Printf("drain requested over HTTP, draining...")
 	}
+
+	// Flip to draining BEFORE touching the listener: /v1/status must
+	// announce the departure while the socket still answers, or routing
+	// tiers only learn about it from connection errors.
+	sys.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	log.Printf("advertising draining for %s before closing the listener", *drainLinger)
+	_ = resilience.SleepContext(shutdownCtx, *drainLinger)
+	if err := sys.Quiesce(shutdownCtx); err != nil {
+		log.Printf("drain deadline passed with work still in flight: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("shut down cleanly")
 }

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedTarget fakes a replica that can be flipped into shedding mode:
+// /v1/augment answers 503 + Retry-After, /v1/status reports draining.
+type shedTarget struct {
+	shedding atomic.Bool
+	srv      *httptest.Server
+}
+
+func newShedTarget(t *testing.T) *shedTarget {
+	t.Helper()
+	s := &shedTarget{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/augment", func(w http.ResponseWriter, r *http.Request) {
+		if s.shedding.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shutting down: draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"augmented": "x"})
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if s.shedding.Load() {
+			status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": status})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"cache": map[string]int64{"hits": 0, "misses": 0},
+		})
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// TestShedCountedSeparately: a 503 answer lands in Report.Shed, not
+// Report.Errors — refusal is an availability event, not a failure.
+func TestShedCountedSeparately(t *testing.T) {
+	target := newShedTarget(t)
+	target.shedding.Store(true)
+	rep, err := Run(context.Background(), Config{
+		Target:   target.srv.URL,
+		Prompts:  prompts(4),
+		Requests: 10,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Shed != 10 || rep.Requests != 10 {
+		t.Fatalf("report = %d errors %d shed %d requests, want 0/10/10", rep.Errors, rep.Shed, rep.Requests)
+	}
+	if rep.FirstError != "" {
+		t.Fatalf("shed run recorded an error: %s", rep.FirstError)
+	}
+}
+
+// TestStopChannelEndsRunGracefully: closing Stop ends an unbounded run
+// without failing in-flight requests.
+func TestStopChannelEndsRunGracefully(t *testing.T) {
+	target := newShedTarget(t)
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(stop)
+	}()
+	done := make(chan struct{})
+	var rep Report
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = Run(context.Background(), Config{
+			Target:   target.srv.URL,
+			Prompts:  prompts(4),
+			Duration: time.Hour, // Stop is the real bound
+			Stop:     stop,
+			Seed:     1,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after Stop closed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("stopped run served nothing")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("graceful stop produced %d errors (first: %s)", rep.Errors, rep.FirstError)
+	}
+}
+
+// TestRunWithChurn rolls one fake replica through drain/kill/restart
+// while the load runs: the timeline is recorded in order, the shed
+// window is counted (not failed), and both hit-ratio windows land.
+func TestRunWithChurn(t *testing.T) {
+	target := newBenchTarget(t)
+	drained := make(chan struct{})
+	plan := ChurnPlan{
+		Targets: []ChurnTarget{{
+			URL: target.srv.URL,
+			Drain: func(ctx context.Context) error {
+				close(drained)
+				return nil
+			},
+			// Kill nil: skipped without an event. Restart recorded.
+			Restart: func(ctx context.Context) error { return nil },
+		}},
+		Warmup:        250 * time.Millisecond,
+		Measure:       150 * time.Millisecond,
+		DrainLinger:   40 * time.Millisecond,
+		DownTime:      20 * time.Millisecond,
+		Settle:        40 * time.Millisecond,
+		Cooldown:      250 * time.Millisecond,
+		RejoinTimeout: 2 * time.Second,
+		// benchTarget has no /v1/status; the fake restart is instant.
+		Ready: func(ctx context.Context, url string) error { return nil },
+	}
+	rep, err := RunWithChurn(context.Background(), Config{
+		Target:   target.srv.URL,
+		Prompts:  prompts(8),
+		Replicas: []string{target.srv.URL},
+		QPS:      200,
+		Seed:     7,
+	}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-drained:
+	default:
+		t.Fatal("drain hook never ran")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("churn run failed requests: %d (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.Churn == nil {
+		t.Fatal("report carries no churn evidence")
+	}
+	var phases []string
+	for _, e := range rep.Churn.Events {
+		if e.Error != "" {
+			t.Fatalf("event %s/%s errored: %s", e.Replica, e.Phase, e.Error)
+		}
+		phases = append(phases, e.Phase)
+	}
+	want := []string{"drain", "restart", "rejoin"}
+	if len(phases) != len(want) {
+		t.Fatalf("events = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("events = %v, want %v", phases, want)
+		}
+	}
+	if rep.Churn.PreChurnLookups == 0 || rep.Churn.RecoveryLookups == 0 {
+		t.Fatalf("hit-ratio windows empty: pre %d recovery %d",
+			rep.Churn.PreChurnLookups, rep.Churn.RecoveryLookups)
+	}
+	// A zipf replay against one stable replica must roughly recover its
+	// hit ratio; the small windows here leave room for a stray cold
+	// key, so the tolerance is looser than the cluster e2e's 5 points.
+	if rep.Churn.RecoveryHitRatio < rep.Churn.PreChurnHitRatio-0.15 {
+		t.Fatalf("recovery hit ratio %.3f fell more than 15 points below pre-churn %.3f",
+			rep.Churn.RecoveryHitRatio, rep.Churn.PreChurnHitRatio)
+	}
+}

@@ -70,6 +70,12 @@ type Config struct {
 	// run; the report carries each replica's hit/miss delta, which is
 	// how cluster cache locality is measured from the outside.
 	Replicas []string
+	// Stop, when non-nil, ends the run gracefully when closed: the
+	// dispatcher hands out no further keys but in-flight requests
+	// finish and are counted. This is how RunWithChurn bounds a run by
+	// "the churn is over" rather than a count or clock — unlike a ctx
+	// cancellation, which aborts in-flight requests as errors.
+	Stop <-chan struct{}
 	// HTTPClient carries the traffic; nil builds a pooled default.
 	HTTPClient *http.Client
 }
@@ -141,9 +147,13 @@ type Report struct {
 	TargetQPS   float64 `json:"target_qps,omitempty"`
 	Seed        int64   `json:"seed"`
 
-	Requests     int `json:"requests"`
-	Errors       int `json:"errors"`
-	Degraded     int `json:"degraded"`
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Degraded int `json:"degraded"`
+	// Shed counts requests the serving side refused with 503 — load
+	// shedding or a draining replica. They are availability events, not
+	// failures: the server answered deliberately, with Retry-After.
+	Shed         int `json:"shed"`
 	DistinctKeys int `json:"distinct_keys"`
 
 	DurationSeconds float64 `json:"duration_seconds"`
@@ -163,6 +173,10 @@ type Report struct {
 
 	// FirstError is a sample failure message for quick triage.
 	FirstError string `json:"first_error,omitempty"`
+
+	// Churn is present when the run was driven by RunWithChurn: the
+	// rolling-restart timeline and the hit-ratio recovery evidence.
+	Churn *ChurnReport `json:"churn,omitempty"`
 }
 
 // Run replays the corpus and returns the report. It stops at the
@@ -205,11 +219,18 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
 				return
 			}
+			select {
+			case <-cfg.Stop:
+				return
+			default:
+			}
 			if cfg.QPS > 0 {
 				next := start.Add(time.Duration(float64(n) / cfg.QPS * float64(time.Second)))
 				if d := time.Until(next); d > 0 {
 					select {
 					case <-time.After(d):
+					case <-cfg.Stop:
+						return
 					case <-ctx.Done():
 						return
 					}
@@ -219,6 +240,8 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			distinct[cfg.Prompts[idx]] = struct{}{}
 			select {
 			case idxCh <- idx:
+			case <-cfg.Stop:
+				return
 			case <-ctx.Done():
 				return
 			}
@@ -231,6 +254,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		requests   int
 		errCount   int
 		degCount   int
+		shedCount  int
 		firstError string
 	)
 	var wg sync.WaitGroup
@@ -240,16 +264,22 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			defer wg.Done()
 			for idx := range idxCh {
 				t0 := time.Now()
-				deg, err := doOne(ctx, cfg, cfg.Prompts[idx])
+				deg, shed, err := doOne(ctx, cfg, cfg.Prompts[idx])
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				requests++
-				if err != nil {
+				switch {
+				case err != nil:
 					errCount++
 					if firstError == "" {
 						firstError = err.Error()
 					}
-				} else {
+				case shed:
+					// A deliberate 503 refusal: counted on its own, and
+					// kept out of the latency window — a fast refusal is
+					// not a served request.
+					shedCount++
+				default:
 					latencies = append(latencies, ms)
 					if deg {
 						degCount++
@@ -274,6 +304,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		Requests:        requests,
 		Errors:          errCount,
 		Degraded:        degCount,
+		Shed:            shedCount,
 		DistinctKeys:    len(distinct),
 		DurationSeconds: elapsed.Seconds(),
 		FirstError:      firstError,
@@ -316,8 +347,8 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 }
 
 // doOne issues one request and reports whether the serving side flagged
-// it degraded.
-func doOne(ctx context.Context, cfg Config, prompt string) (degraded bool, err error) {
+// it degraded or shed it with a deliberate 503.
+func doOne(ctx context.Context, cfg Config, prompt string) (degraded, shed bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 
@@ -338,38 +369,44 @@ func doOne(ctx context.Context, cfg Config, prompt string) (degraded bool, err e
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return false, fmt.Errorf("loadgen: encoding request: %w", err)
+		return false, false, fmt.Errorf("loadgen: encoding request: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+path, bytes.NewReader(body))
 	if err != nil {
-		return false, fmt.Errorf("loadgen: building request: %w", err)
+		return false, false, fmt.Errorf("loadgen: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json; charset=utf-8")
 	resp, err := cfg.HTTPClient.Do(req)
 	if err != nil {
-		return false, fmt.Errorf("loadgen: %s: %w", path, err)
+		return false, false, fmt.Errorf("loadgen: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	degraded = resp.Header.Get("X-PAS-Degraded") == "1"
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The serving side shed the request on purpose (overload or a
+		// draining replica). Drain the body; this is not an error.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return degraded, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a bounded slice for the error message.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return degraded, fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+		return degraded, false, fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	if cfg.Mode == ModeAugment {
 		var wire struct {
 			Degraded bool `json:"degraded"`
 		}
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&wire); err != nil {
-			return degraded, fmt.Errorf("loadgen: decoding augment response: %w", err)
+			return degraded, false, fmt.Errorf("loadgen: decoding augment response: %w", err)
 		}
 		degraded = degraded || wire.Degraded
-		return degraded, nil
+		return degraded, false, nil
 	}
 	// Chat mode: the completion body is upstream's business; drain it so
 	// the connection is reusable.
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<20))
-	return degraded, nil
+	return degraded, false, nil
 }
 
 // replicaCache is one scrape of a replica's cache counters.

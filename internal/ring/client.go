@@ -187,6 +187,52 @@ func NormalizeReplicas(replicas []string) ([]string, error) {
 // Start launches the active health prober; it stops when ctx ends.
 func (c *Client) Start(ctx context.Context) { c.mem.Start(ctx) }
 
+// AddReplica joins one replica to the fleet at runtime: the URL is
+// validated and normalized, a fresh breaker and counters are armed, and
+// the membership table puts it on the ring (starting its probe loop
+// when the prober is running). Adding a replica that is already present
+// and routable is a harmless no-op. It returns the normalized URL and
+// whether the membership actually changed.
+func (c *Client) AddReplica(rawurl string) (string, bool, error) {
+	norm, err := NormalizeReplicas([]string{rawurl})
+	if err != nil {
+		return "", false, err
+	}
+	url := norm[0]
+	c.mu.Lock()
+	if _, ok := c.counters[url]; !ok {
+		c.counters[url] = &replicaCounters{}
+	}
+	if c.breakers != nil {
+		if _, ok := c.breakers[url]; !ok {
+			// A re-added replica starts with a clean breaker: its past
+			// failures belonged to the process that was retired.
+			c.breakers[url] = resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: c.cfg.BreakerThreshold,
+				Cooldown:  c.cfg.BreakerCooldown,
+			})
+		}
+	}
+	c.mu.Unlock()
+	return url, c.mem.Add(url), nil
+}
+
+// RemoveReplica retires one replica: off the ring, probe loop stopped,
+// breaker dropped (so a later re-add starts closed). The lifetime
+// counters stay — traffic it served still happened. It reports whether
+// the replica was a member.
+func (c *Client) RemoveReplica(rawurl string) (bool, error) {
+	norm, err := NormalizeReplicas([]string{rawurl})
+	if err != nil {
+		return false, err
+	}
+	url := norm[0]
+	c.mu.Lock()
+	delete(c.breakers, url)
+	c.mu.Unlock()
+	return c.mem.Remove(url), nil
+}
+
 // Membership exposes the health table (stats surfaces, tests).
 func (c *Client) Membership() *Membership { return c.mem }
 
@@ -433,9 +479,14 @@ func (c *Client) Stats() Stats {
 		Hedging:   c.hedger != nil,
 	}
 	c.mu.Lock()
-	for _, r := range c.cfg.Replicas {
-		rc := c.counters[r]
-		s.Replicas = append(s.Replicas, ReplicaStats{URL: r, Requests: rc.requests, Errors: rc.errors})
+	// Per-replica traffic follows the live membership table, not the
+	// boot-time config: replicas come and go at runtime.
+	for _, m := range s.Members {
+		rs := ReplicaStats{URL: m.URL}
+		if rc := c.counters[m.URL]; rc != nil {
+			rs.Requests, rs.Errors = rc.requests, rc.errors
+		}
+		s.Replicas = append(s.Replicas, rs)
 	}
 	breakers := make(map[string]*resilience.Breaker, len(c.breakers))
 	for u, b := range c.breakers {
@@ -473,6 +524,9 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		e.Counter("pas_ring_failovers_total", "Requests served by a non-owner replica.", float64(s.Failovers))
 		e.Counter("pas_ring_degraded_total", "Requests served fail-open after the whole fleet failed.", float64(s.Degraded))
 		e.Gauge("pas_ring_live_members", "Members currently routable (up or suspect).", float64(s.Live))
+		adds, removes, _ := c.mem.Churn()
+		e.Counter("pas_ring_members_added_total", "Members joined at runtime.", float64(adds))
+		e.Counter("pas_ring_members_removed_total", "Members retired at runtime.", float64(removes))
 		for _, m := range s.Members {
 			state := 0.0
 			switch m.State {
@@ -480,11 +534,14 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 				state = 1
 			case "down":
 				state = 2
+			case "draining":
+				state = 3
 			}
-			e.Gauge("pas_ring_member_state", "Member health (0 up, 1 suspect, 2 down).", state, "replica", m.URL)
+			e.Gauge("pas_ring_member_state", "Member health (0 up, 1 suspect, 2 down, 3 draining).", state, "replica", m.URL)
 			e.Counter("pas_ring_probes_total", "Health probes issued.", float64(m.Probes), "replica", m.URL)
 			e.Counter("pas_ring_probe_failures_total", "Health probes failed.", float64(m.ProbeFails), "replica", m.URL)
 			e.Counter("pas_ring_member_downs_total", "Evictions of the member from the ring.", float64(m.Downs), "replica", m.URL)
+			e.Counter("pas_ring_member_drains_total", "Graceful departures into draining, by replica.", float64(m.Drains), "replica", m.URL)
 		}
 		for _, r := range s.Replicas {
 			e.Counter("pas_ring_replica_requests_total", "Augmentations served, by replica.", float64(r.Requests), "replica", r.URL)

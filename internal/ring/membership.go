@@ -2,6 +2,7 @@ package ring
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,12 +16,22 @@ import (
 //
 //	Up ──probe/request failure──▶ Suspect ──DownAfter consecutive──▶ Down
 //	any ──probe/request success──▶ Up
+//	any ──probe sees "draining"──▶ Draining ──probe sees "ok"──▶ Up
+//	Draining ──DownAfter probe failures──▶ Down
 //
 // Up and Suspect members stay on the routing ring (a suspect member is
 // probably alive — one lost probe should not reshuffle 1/N of the key
 // space); Down members are removed, which is what moves their keys to
 // successors. A Down member keeps being probed at backed-off intervals
 // and rejoins the ring on its first successful probe.
+//
+// Draining is the third, deliberate state: the member answers probes
+// (it is healthy) but has announced it is shutting down, so it is taken
+// off the ring without any failure bookkeeping — no suspect detour, no
+// breaker food, no error streak. Only probes move a member in or out of
+// Draining; data-path observations are ignored while it drains, because
+// the replica intentionally keeps serving cache hits and in-flight work
+// while refusing new computations.
 type State int
 
 const (
@@ -32,6 +43,10 @@ const (
 	// StateDown: evicted from the ring; probed on backoff until it
 	// recovers.
 	StateDown
+	// StateDraining: healthy but shutting down; off the ring by its own
+	// request. Probes keep watching it — a drained process that
+	// restarts and reports ok rejoins, one that disappears goes Down.
+	StateDraining
 )
 
 func (s State) String() string {
@@ -42,9 +57,20 @@ func (s State) String() string {
 		return "suspect"
 	case StateDown:
 		return "down"
+	case StateDraining:
+		return "draining"
 	}
 	return "unknown"
 }
+
+// routable reports whether a member in state s should be on the ring.
+func routable(s State) bool { return s == StateUp || s == StateSuspect }
+
+// wireDrainingStatus is the /v1/status "status" value a draining
+// replica reports. Deliberately redeclared here rather than imported
+// from the root package (which would be an import cycle); it is part
+// of the HTTP wire contract, like augmentWireRequest.
+const wireDrainingStatus = "draining"
 
 // HealthConfig sizes the active health checker. Zero values select
 // defaults.
@@ -95,11 +121,14 @@ type member struct {
 
 	probes     int64
 	probeFails int64
-	downs      int64 // Suspect->Down transitions
+	downs      int64 // ->Down transitions
+	drains     int64 // ->Draining transitions
 }
 
 // Membership tracks replica health and keeps the routing ring in sync:
-// only members not Down are on the ring. Safe for concurrent use.
+// only Up and Suspect members are on the ring. Safe for concurrent
+// use. The member set is dynamic: Add and Remove reshape it at
+// runtime, starting and stopping probe loops to match.
 type Membership struct {
 	ring *Ring
 	cfg  HealthConfig
@@ -108,6 +137,17 @@ type Membership struct {
 	mu      sync.Mutex
 	members map[string]*member
 	order   []string // stable iteration order for snapshots
+	// runCtx is the context Start was called with; nil before Start.
+	// Probe loops started later (Add after Start) inherit it.
+	runCtx context.Context
+	// cancels stops one member's probe loop; Remove uses it so a
+	// departed replica is not probed forever.
+	cancels map[string]context.CancelFunc
+
+	// Lifetime churn counters.
+	adds    int64
+	removes int64
+	drains  int64
 }
 
 // NewMembership creates a table over replicas, all initially Up and on
@@ -126,6 +166,7 @@ func NewMembership(replicas []string, ring *Ring, hc *http.Client, cfg HealthCon
 		cfg:     cfg,
 		hc:      hc,
 		members: make(map[string]*member, len(replicas)),
+		cancels: make(map[string]context.CancelFunc),
 	}
 	now := cfg.Now()
 	for _, r := range replicas {
@@ -140,14 +181,92 @@ func NewMembership(replicas []string, ring *Ring, hc *http.Client, cfg HealthCon
 }
 
 // Start launches one probe goroutine per member; they stop when ctx
-// ends. Call at most once.
+// ends. Members added later get their loop started immediately under
+// the same ctx. Call at most once.
 func (m *Membership) Start(ctx context.Context) {
 	m.mu.Lock()
-	urls := append([]string(nil), m.order...)
-	m.mu.Unlock()
-	for _, u := range urls {
-		go m.probeLoop(ctx, u)
+	defer m.mu.Unlock()
+	m.runCtx = ctx
+	for _, u := range m.order {
+		m.startLoopLocked(u)
 	}
+}
+
+// startLoopLocked spawns url's probe loop if Start has been called and
+// one is not already running. Caller holds m.mu.
+func (m *Membership) startLoopLocked(url string) {
+	if m.runCtx == nil {
+		return
+	}
+	if _, running := m.cancels[url]; running {
+		return
+	}
+	ctx, cancel := context.WithCancel(m.runCtx)
+	m.cancels[url] = cancel
+	go m.probeLoop(ctx, url)
+}
+
+// stopLoopLocked cancels url's probe loop, if any. Caller holds m.mu.
+func (m *Membership) stopLoopLocked(url string) {
+	if cancel, ok := m.cancels[url]; ok {
+		cancel()
+		delete(m.cancels, url)
+	}
+}
+
+// Add inserts a member (or revives a removed-from-ring one), puts it on
+// the ring optimistically, and starts its probe loop when the checker
+// is running. It reports whether anything changed: adding a member that
+// is already present and routable is a no-op.
+func (m *Membership) Add(url string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	if mem, ok := m.members[url]; ok {
+		m.startLoopLocked(url) // heal a lost loop even when state is fine
+		if routable(mem.state) {
+			return false
+		}
+		// Known but off-ring (Down or Draining): the operator says it is
+		// back. Reset to Up; the next probe corrects optimism.
+		mem.state = StateUp
+		mem.fails = 0
+		mem.lastErr = ""
+		mem.since = now
+		m.ring.Add(url)
+		m.adds++
+		return true
+	}
+	m.members[url] = &member{url: url, state: StateUp, since: now}
+	m.order = append(m.order, url)
+	m.ring.Add(url)
+	m.startLoopLocked(url)
+	m.adds++
+	return true
+}
+
+// Remove deletes a member: off the ring, record dropped, probe loop
+// cancelled. It reports whether the member existed.
+func (m *Membership) Remove(url string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[url]
+	if !ok {
+		return false
+	}
+	if routable(mem.state) {
+		m.ring.Remove(url)
+	}
+	delete(m.members, url)
+	for i, u := range m.order {
+		if u == url {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.stopLoopLocked(url)
+	m.removes++
+	return true
 }
 
 // probeLoop probes one member forever. Healthy members are probed every
@@ -188,7 +307,7 @@ func (m *Membership) probeLoop(ctx context.Context, url string) {
 func (m *Membership) ProbeOne(ctx context.Context, url string) {
 	// The probe runs without the table lock: a slow replica must not
 	// stall snapshots or the data path's health observations.
-	err := m.probe(ctx, url)
+	draining, err := m.probe(ctx, url)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mem, ok := m.members[url]
@@ -199,7 +318,7 @@ func (m *Membership) ProbeOne(ctx context.Context, url string) {
 	if err != nil {
 		mem.probeFails++
 	}
-	m.observeLocked(mem, err)
+	m.applyLocked(mem, err, draining, true)
 }
 
 // ProbeAll sweeps every member once, synchronously.
@@ -214,26 +333,36 @@ func (m *Membership) ProbeAll(ctx context.Context) {
 
 // probe issues one GET ProbePath and reports whether the member looks
 // alive: any 2xx is healthy, everything else (or a transport error) is
-// a failure.
-func (m *Membership) probe(ctx context.Context, url string) error {
+// a failure. A healthy body whose JSON status reads "draining" flags
+// the member as deliberately leaving; a non-JSON 2xx body stays plain
+// healthy for compatibility with simpler status endpoints.
+func (m *Membership) probe(ctx context.Context, url string) (draining bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+m.cfg.ProbePath, nil)
 	if err != nil {
-		return fmt.Errorf("ring: building probe: %w", err)
+		return false, fmt.Errorf("ring: building probe: %w", err)
 	}
 	resp, err := m.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("ring: probe %s: %w", url, err)
+		return false, fmt.Errorf("ring: probe %s: %w", url, err)
 	}
 	defer resp.Body.Close()
-	// Drain so the transport can reuse the connection for the next
-	// probe; health is the status code.
+	// Read (and thereby drain, so the transport can reuse the
+	// connection) a bounded prefix of the body: it carries the
+	// draining announcement.
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("ring: probe %s: status %d", url, resp.StatusCode)
+		return false, fmt.Errorf("ring: probe %s: status %d", url, resp.StatusCode)
 	}
-	return nil
+	var wire struct {
+		Status string `json:"status"`
+	}
+	if jsonErr := json.Unmarshal(body, &wire); jsonErr == nil && wire.Status == wireDrainingStatus {
+		return true, nil
+	}
+	return false, nil
 }
 
 // Observe feeds a data-path outcome into the health table: the augment
@@ -249,21 +378,42 @@ func (m *Membership) Observe(url string, err error) {
 	if !ok {
 		return
 	}
-	m.observeLocked(mem, err)
+	m.applyLocked(mem, err, false, false)
 }
 
-// observeLocked applies one observation. Caller holds m.mu.
-func (m *Membership) observeLocked(mem *member, err error) {
+// applyLocked applies one observation. Only probes (fromProbe) can
+// move a member into or out of Draining: a draining replica keeps
+// answering in-flight and cached work on purpose, so data-path
+// successes must not re-ring it and data-path failures must not smear
+// its record. Caller holds m.mu.
+func (m *Membership) applyLocked(mem *member, err error, draining, fromProbe bool) {
 	now := m.cfg.Now()
+	if mem.state == StateDraining && !fromProbe {
+		return
+	}
+	if err == nil && draining {
+		if mem.state != StateDraining {
+			if routable(mem.state) {
+				m.ring.Remove(mem.url)
+			}
+			mem.state = StateDraining
+			mem.since = now
+			mem.drains++
+			m.drains++
+		}
+		mem.fails = 0
+		mem.lastErr = ""
+		return
+	}
 	if err == nil {
-		wasDown := mem.state == StateDown
+		wasRoutable := routable(mem.state)
 		if mem.state != StateUp {
 			mem.state = StateUp
 			mem.since = now
 		}
 		mem.fails = 0
 		mem.lastErr = ""
-		if wasDown {
+		if !wasRoutable {
 			m.ring.Add(mem.url)
 		}
 		return
@@ -280,6 +430,15 @@ func (m *Membership) observeLocked(mem *member, err error) {
 			mem.since = now
 			mem.downs++
 			m.ring.Remove(mem.url)
+		}
+	case StateDraining:
+		// A drainer that stops answering has finished exiting (or
+		// died); it is already off the ring — just mark it Down so the
+		// probe cadence backs off until a restart brings it back.
+		if mem.fails >= m.cfg.DownAfter {
+			mem.state = StateDown
+			mem.since = now
+			mem.downs++
 		}
 	case StateDown:
 		// Already evicted; the streak just keeps the backoff growing.
@@ -304,10 +463,11 @@ type MemberStatus struct {
 	Fails   int    `json:"fails,omitempty"`
 	LastErr string `json:"last_error,omitempty"`
 	// Probes / ProbeFails are lifetime probe counters; Downs counts
-	// evictions from the ring.
+	// evictions from the ring; Drains counts graceful departures.
 	Probes     int64 `json:"probes"`
 	ProbeFails int64 `json:"probe_fails"`
 	Downs      int64 `json:"downs"`
+	Drains     int64 `json:"drains,omitempty"`
 }
 
 // Snapshot returns every member's status in the stable replica order.
@@ -325,20 +485,30 @@ func (m *Membership) Snapshot() []MemberStatus {
 			Probes:     mem.probes,
 			ProbeFails: mem.probeFails,
 			Downs:      mem.downs,
+			Drains:     mem.drains,
 		})
 	}
 	return out
 }
 
-// Live returns how many members are currently routable (not Down).
+// Live returns how many members are currently routable (Up or
+// Suspect): draining members are healthy but deliberately excluded.
 func (m *Membership) Live() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
 	for _, mem := range m.members {
-		if mem.state != StateDown {
+		if routable(mem.state) {
 			n++
 		}
 	}
 	return n
+}
+
+// Churn returns the lifetime membership-change counters: members
+// added, members removed, and observed transitions into Draining.
+func (m *Membership) Churn() (adds, removes, drains int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.adds, m.removes, m.drains
 }

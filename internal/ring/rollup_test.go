@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -57,5 +58,59 @@ func TestMetricsRollup(t *testing.T) {
 	// The merged output must itself be a valid exposition.
 	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
 		t.Fatalf("rollup output does not parse: %v", err)
+	}
+}
+
+// TestMetricsRollupMidDrain: a draining member is off the routing ring
+// but still very much observable — its /metricsz keeps being scraped
+// (scrape_ok 1, series present) right up until the process dies, which
+// is exactly the window an operator watches during a rolling restart.
+func TestMetricsRollupMidDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.CounterVec("pas_serving_shed_total", "Sheds.", "reason").With("draining").Add(5)
+	mux := http.NewServeMux()
+	mux.Handle("/metricsz", reg.Handler())
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"draining"}`))
+	})
+	draining := httptest.NewServer(mux)
+	t.Cleanup(draining.Close)
+
+	healthyReg := obs.NewRegistry()
+	healthyReg.Counter("pas_serving_cache_hits_total", "Cache hits.").Add(4)
+	hmux := http.NewServeMux()
+	hmux.Handle("/metricsz", healthyReg.Handler())
+	hmux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	})
+	healthy := httptest.NewServer(hmux)
+	t.Cleanup(healthy.Close)
+
+	c, err := NewClient(Config{Replicas: []string{healthy.URL, draining.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the prober observe the drain: the member leaves the ring but
+	// stays in the membership table that drives the rollup scrape.
+	c.Membership().ProbeAll(context.Background())
+	if c.Membership().Live() != 1 {
+		t.Fatalf("Live() = %d after drain probe, want 1", c.Membership().Live())
+	}
+
+	rec := httptest.NewRecorder()
+	c.MetricsRollup(obs.NewRegistry(), 0).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricsz/cluster", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`pas_cluster_scrape_ok{instance="` + draining.URL + `"} 1`,
+		`pas_cluster_scrape_ok{instance="` + healthy.URL + `"} 1`,
+		`reason="draining"`,
+		`pas_serving_cache_hits_total{instance="` + healthy.URL + `"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("mid-drain rollup missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("mid-drain rollup does not parse: %v", err)
 	}
 }

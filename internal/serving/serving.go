@@ -49,6 +49,14 @@ var (
 	// recent computations kept shedding, so the core fails fast instead
 	// of queueing more doomed work.
 	ErrBreakerOpen = fmt.Errorf("serving: augmentation breaker open: %w", resilience.ErrOpen)
+	// ErrDraining reports that the core is draining for shutdown: new
+	// computations are refused so the process can quiesce, while cache
+	// hits and computations already admitted (or attached to in flight)
+	// keep being served. The HTTP layer maps it to 503 + Retry-After —
+	// a router fails the request over to another replica — and it is
+	// never degraded to a fail-open 200: a draining replica must shed,
+	// not keep absorbing traffic.
+	ErrDraining = errors.New("serving: draining: new computations refused")
 )
 
 // Config sizes the serving core. The zero value of any field selects
@@ -140,12 +148,17 @@ type Core struct {
 	queue   chan struct{}       // waiting tokens, cap QueueDepth
 	breaker *resilience.Breaker // nil when BreakerThreshold == 0
 
+	// draining, once set, refuses new computations (ErrDraining) while
+	// in-flight and cache-hit traffic keeps being served; see Drain.
+	draining atomic.Bool
+
 	requests      int64
 	completed     int64
 	dedupHits     int64
 	shedQueueFull int64
 	shedDeadline  int64
 	shedBreaker   int64
+	shedDraining  int64
 	degraded      int64
 
 	lat *latencyRing
@@ -241,6 +254,17 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 	v, shared, err := c.flight.do(ctx, k, func() (string, error) {
 		// The single-flight leader runs here; followers share its
 		// outcome, so the spans below describe the one real computation.
+		//
+		// The drain gate sits exactly here — after the cache lookup and
+		// the follower attach — so a draining core still answers repeat
+		// traffic (hits) and requests that joined an in-flight
+		// computation, but never starts new work. Shedding before the
+		// breaker keeps drain out of the breaker's failure accounting:
+		// draining is an operator action, not a health signal.
+		if c.draining.Load() {
+			atomic.AddInt64(&c.shedDraining, 1)
+			return "", ErrDraining
+		}
 		_, qspan := obs.StartSpan(ctx, "serving.queue_wait")
 		qspan.SetAttr("singleflight.role", "leader")
 		// The breaker guards the leader only: followers share the
@@ -357,11 +381,45 @@ func (c *Core) NoteDegraded() {
 	atomic.AddInt64(&c.degraded, 1)
 }
 
+// Drain flips the core into draining: from now on new computations are
+// refused with ErrDraining while cache hits, admitted computations, and
+// single-flight followers of in-flight work keep completing. It returns
+// true on the first call and false when the core was already draining.
+// Draining is one-way — a drained core belongs to a process on its way
+// out; a restart gets a fresh core.
+func (c *Core) Drain() bool {
+	return c.draining.CompareAndSwap(false, true)
+}
+
+// Draining reports whether Drain has been called.
+func (c *Core) Draining() bool { return c.draining.Load() }
+
+// Quiesce blocks until the core is idle — no computation slot held and
+// no request waiting in the admission queue — or ctx ends, returning
+// ctx's error in that case. Call it after Drain: with new work refused,
+// the queue can only empty, so this is the "exit when the queue is
+// empty or the drain deadline passes" half of a graceful shutdown.
+func (c *Core) Quiesce(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(c.slots) == 0 && len(c.queue) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // Overloaded reports whether err is one of the core's shedding errors
-// (including an open breaker), for which the caller should answer 503
-// with a Retry-After hint — or degrade to the raw prompt when running
-// fail-open.
+// (including an open breaker and a draining core), for which the caller
+// should answer 503 with a Retry-After hint — or degrade to the raw
+// prompt when running fail-open (draining excepted: a draining core
+// must shed so routers move on, not absorb traffic fail-open).
 func Overloaded(err error) bool {
 	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadline) ||
-		errors.Is(err, ErrBreakerOpen)
+		errors.Is(err, ErrBreakerOpen) || errors.Is(err, ErrDraining)
 }

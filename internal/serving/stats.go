@@ -71,11 +71,17 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 
 	// Shed totals the load-shedding outcomes; the components tell
-	// overload apart from tight deadlines and a tripped breaker.
+	// overload apart from tight deadlines, a tripped breaker, and a
+	// draining core.
 	Shed          int64 `json:"shed"`
 	ShedQueueFull int64 `json:"shed_queue_full"`
 	ShedDeadline  int64 `json:"shed_deadline"`
 	ShedBreaker   int64 `json:"shed_breaker"`
+	ShedDraining  int64 `json:"shed_draining"`
+
+	// Draining reports that Drain was called: the core refuses new
+	// computations and the process is on its way out.
+	Draining bool `json:"draining,omitempty"`
 
 	// Degraded counts requests the layer above served fail-open with
 	// the un-augmented prompt after this core failed them.
@@ -112,10 +118,12 @@ func (c *Core) Stats() Stats {
 		ShedQueueFull: atomic.LoadInt64(&c.shedQueueFull),
 		ShedDeadline:  atomic.LoadInt64(&c.shedDeadline),
 		ShedBreaker:   atomic.LoadInt64(&c.shedBreaker),
+		ShedDraining:  atomic.LoadInt64(&c.shedDraining),
+		Draining:      c.draining.Load(),
 		Degraded:      atomic.LoadInt64(&c.degraded),
 	}
 	s.DedupHits = atomic.LoadInt64(&c.dedupHits)
-	s.Shed = s.ShedQueueFull + s.ShedDeadline + s.ShedBreaker
+	s.Shed = s.ShedQueueFull + s.ShedDeadline + s.ShedBreaker + s.ShedDraining
 	if c.breaker != nil {
 		bs := c.breaker.Stats()
 		s.Breaker = &bs
@@ -158,6 +166,13 @@ func (c *Core) RegisterMetrics(reg *obs.Registry) {
 			float64(s.ShedDeadline), "reason", "deadline")
 		e.Counter("pas_serving_shed_total", "Requests shed, by reason.",
 			float64(s.ShedBreaker), "reason", "breaker")
+		e.Counter("pas_serving_shed_total", "Requests shed, by reason.",
+			float64(s.ShedDraining), "reason", "draining")
+		draining := 0.0
+		if s.Draining {
+			draining = 1
+		}
+		e.Gauge("pas_serving_draining", "Whether the core is draining for shutdown (1 = draining).", draining)
 		e.Counter("pas_serving_degraded_total", "Requests served fail-open with the raw prompt.", float64(s.Degraded))
 		e.Counter("pas_serving_dedup_hits_total", "Requests served by an in-flight duplicate.", float64(s.DedupHits))
 		e.Counter("pas_serving_cache_hits_total", "Result-cache hits.", float64(s.Cache.Hits))

@@ -22,6 +22,8 @@ package pas
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/augment"
 	"repro/internal/curation"
@@ -84,6 +86,17 @@ type System struct {
 	// when disabled (ServingConfig.Retries).
 	retry   resilience.Policy
 	retries int
+
+	// draining, once set, flips /v1/status to "draining" and sheds new
+	// augmentation work so routers stop sending traffic here; see Drain.
+	draining atomic.Bool
+	// adminToken guards POST /v1/drain when non-empty; set it before
+	// serving traffic (SetAdminToken).
+	adminToken string
+	// onDrain, when set, is invoked (once) when an HTTP drain request
+	// asks the process to exit; cmd/passerve hooks its shutdown here.
+	onDrain   func()
+	drainExit sync.Once
 }
 
 // NewSystem wraps a fine-tuned PAS model.

@@ -2,9 +2,11 @@ package pas
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -141,10 +143,11 @@ func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (st
 	}
 	do := func(ctx context.Context) (string, error) {
 		v, err := s.core.Do(ctx, prompt, salt, s.BaseModel())
-		if errors.Is(err, serving.ErrBreakerOpen) {
-			// Retrying against an open breaker only burns the backoff
-			// budget; mark it terminal for the retry loop. IsOverloaded
-			// still sees the breaker error through the wrapper.
+		if errors.Is(err, serving.ErrBreakerOpen) || errors.Is(err, serving.ErrDraining) {
+			// Retrying against an open breaker (or a draining core —
+			// drain is one-way) only burns the backoff budget; mark
+			// these terminal for the retry loop. IsOverloaded still sees
+			// the typed error through the wrapper.
 			return v, resilience.AsTerminal(err)
 		}
 		return v, err
@@ -158,13 +161,16 @@ func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (st
 // complementOrDegrade runs the complement through the serving layers
 // and applies the fail-open policy: when the PAS side sheds and Degrade
 // is enabled, the caller proceeds with an empty complement (the raw
-// prompt), and the fallback is counted in the core's stats.
+// prompt), and the fallback is counted in the core's stats. Drain sheds
+// are the one overload that never degrades: a draining replica must
+// answer 503 so its router fails the request over to a peer, instead of
+// fail-open 200s keeping traffic pinned to a process on its way out.
 func (s *System) complementOrDegrade(ctx context.Context, prompt, salt string) (complement string, degraded bool, err error) {
 	c, err := s.ComplementContext(ctx, prompt, salt)
 	if err == nil {
 		return c, false, nil
 	}
-	if s.degrade && IsOverloaded(err) {
+	if s.degrade && IsOverloaded(err) && !IsDraining(err) {
 		s.core.NoteDegraded()
 		obs.AddEvent(ctx, "augment.degraded", "cause", err.Error())
 		return "", true, nil
@@ -209,12 +215,84 @@ func (s *System) AugmentContextDegraded(ctx context.Context, prompt, salt string
 // and retry later.
 func IsOverloaded(err error) bool { return serving.Overloaded(err) }
 
+// IsDraining reports whether err means this instance is draining for
+// shutdown. Draining errors are Overloaded too (503 + Retry-After),
+// but they must never be served fail-open: the 503 is the signal that
+// moves routers off this instance.
+func IsDraining(err error) bool { return errors.Is(err, serving.ErrDraining) }
+
+// Drain flips the system into draining for a zero-downtime shutdown:
+// GET /v1/status starts answering "draining" (still 200 — the process
+// is healthy, just leaving), new augmentation work is shed with
+// 503 + Retry-After, and in-flight plus cache-hit traffic keeps being
+// served. Cluster routers (internal/ring) treat the draining status as
+// routing-excluded-but-healthy, so the instance leaves the ring without
+// tripping breakers or suspicion. Returns true on the first call.
+// Draining is one-way: a restarted process starts fresh.
+func (s *System) Drain() bool {
+	first := s.draining.CompareAndSwap(false, true)
+	if first && s.core != nil {
+		s.core.Drain()
+	}
+	return first
+}
+
+// Draining reports whether Drain has been called.
+func (s *System) Draining() bool { return s.draining.Load() }
+
+// Quiesce blocks until the serving core is idle (no computation running
+// or queued) or ctx ends. Call it between Drain and closing the
+// listener: with new work shed, the queue can only empty. A system
+// without a serving core is trivially quiesced.
+func (s *System) Quiesce(ctx context.Context) error {
+	if s.core == nil {
+		return nil
+	}
+	return s.core.Quiesce(ctx)
+}
+
+// SetAdminToken guards POST /v1/drain: when non-empty, requests must
+// present the token in X-PAS-Admin-Token or Authorization: Bearer.
+// Set it before serving traffic; it is not safe to change while
+// requests are in flight.
+func (s *System) SetAdminToken(token string) { s.adminToken = token }
+
+// OnDrain registers fn to run (at most once, from a request goroutine)
+// when an HTTP drain request asks the process to exit — cmd/passerve
+// hooks its signal-equivalent shutdown path here. Register before
+// serving traffic.
+func (s *System) OnDrain(fn func()) { s.onDrain = fn }
+
+// fireDrainExit invokes the registered exit hook exactly once.
+func (s *System) fireDrainExit() {
+	s.drainExit.Do(func() {
+		if s.onDrain != nil {
+			s.onDrain()
+		}
+	})
+}
+
+// adminAuthorized checks the drain/admin token. An unset token leaves
+// the endpoint open (single-node dev flows); production runs set
+// -admin-token.
+func (s *System) adminAuthorized(r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	got := r.Header.Get("X-PAS-Admin-Token")
+	if got == "" {
+		got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(s.adminToken)) == 1
+}
+
 // Handler returns the HTTP handler exposing the system as a
 // plug-and-play service:
 //
 //	POST /v1/augment {"prompt": "..."} -> AugmentResponse
 //	GET  /v1/stats                     -> serving-core snapshot (enabled cores)
-//	GET  /v1/status                    -> {"status":"ok","model":...} (ring health probes)
+//	GET  /v1/status                    -> {"status":"ok"|"draining","model":...} (ring health probes)
+//	POST /v1/drain  [{"exit": bool}]   -> graceful drain (admin; see Drain)
 //	GET  /healthz                      -> 200 "ok"
 //
 // The handler is safe for concurrent use.
@@ -223,6 +301,7 @@ func (s *System) Handler() http.Handler {
 	mux.HandleFunc("/v1/augment", s.handleAugment)
 	mux.Handle("/v1/stats", s.StatsHandler())
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -231,14 +310,56 @@ func (s *System) Handler() http.Handler {
 }
 
 // handleStatus is the liveness probe the cluster membership table polls
-// (ring.HealthConfig.ProbePath): any 2xx means "route to me". It is
-// deliberately cheap — no serving-core counters, no locks — because a
-// fleet of probers hits it continuously.
+// (ring.HealthConfig.ProbePath). The status code stays 200 even while
+// draining — a draining process is healthy, just leaving — and the body
+// status field carries the routing verdict: probers (internal/ring)
+// parse "draining" as routing-excluded-but-healthy, anything else 2xx
+// as "route to me". It is deliberately cheap — no serving-core
+// counters, no locks — because a fleet of probers hits it continuously.
 func (s *System) handleStatus(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 		Model  string `json:"model"`
-	}{Status: "ok", Model: s.BaseModel()})
+	}{Status: status, Model: s.BaseModel()})
+}
+
+// handleDrain is the admin half of a rolling restart: it flips the
+// system into draining (idempotently) and, unless the body says
+// {"exit": false}, asks the process to begin its graceful exit via the
+// OnDrain hook. Guarded by the admin token when one is set.
+func (s *System) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.adminAuthorized(r) {
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: "admin token missing or wrong (X-PAS-Admin-Token or Authorization: Bearer)"})
+		return
+	}
+	// The body is optional; an empty one means "drain and exit" — the
+	// rolling-restart default. {"exit": false} flips the status without
+	// scheduling an exit, for operators who kill the process themselves.
+	req := struct {
+		Exit *bool `json:"exit"`
+	}{}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	exit := req.Exit == nil || *req.Exit
+	first := s.Drain()
+	if exit {
+		s.fireDrainExit()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status          string `json:"status"`
+		AlreadyDraining bool   `json:"already_draining,omitempty"`
+		Exiting         bool   `json:"exiting"`
+	}{Status: "draining", AlreadyDraining: !first, Exiting: exit && s.onDrain != nil})
 }
 
 // StatsHandler serves the serving core's snapshot as JSON (mount at
@@ -269,6 +390,13 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "prompt is required"})
 		return
 	}
+	// With a serving core the drain gate lives inside it (cache hits
+	// still answer); without one, shed here so a bare System still
+	// honors the drain protocol.
+	if s.core == nil && s.Draining() {
+		writeOverloaded(w, serving.ErrDraining)
+		return
+	}
 	c, degraded, err := s.complementOrDegrade(r.Context(), req.Prompt, req.Salt)
 	if err != nil {
 		writeOverloaded(w, err)
@@ -290,12 +418,17 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 
 // writeOverloaded answers a shed (or client-abandoned) request. Loaded
 // sheds carry Retry-After so well-behaved clients back off instead of
-// hammering a saturated core.
+// hammering a saturated core; drain sheds carry it so routers retry
+// elsewhere immediately.
 func writeOverloaded(w http.ResponseWriter, err error) {
 	if serving.Overloaded(err) {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server overloaded: " + err.Error()})
+	prefix := "server overloaded: "
+	if IsDraining(err) {
+		prefix = "shutting down: "
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: prefix + err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
