@@ -1,0 +1,122 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// SARIF 2.1.0 output (-sarif): the static-analysis interchange format
+// GitHub code scanning and most CI annotators ingest. Only the slice
+// of the spec paslint produces is modelled — one run, one driver, rule
+// metadata from the registry, and one physical location per result.
+// The -json flag keeps its original shape; -sarif is additive.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"semanticVersion"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// buildSARIF converts one lint run's diagnostics. root is the module
+// root; file paths under it are emitted relative with forward slashes
+// (SARIF URIs), anchored on %SRCROOT% as code-scanning expects.
+func buildSARIF(diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, root string) sarifLog {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// Malformed directives are reported under the reserved "paslint"
+	// rule id, which no analyzer owns.
+	rules = append(rules, sarifRule{ID: "paslint", ShortDescription: sarifMessage{Text: "malformed paslint directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(d.Pos.Filename, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "paslint", Version: paslintVersion, Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// sarifURI renders filename relative to root with forward slashes;
+// paths outside root stay absolute (still a valid file URI path).
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rules"
+)
+
+func TestBuildSARIF(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "/mod/internal/ring/ring.go", Line: 42, Column: 7},
+			Rule:    "timerstop",
+			Message: "time.Tick leaks its ticker forever",
+		},
+		{
+			Pos:     token.Position{Filename: "/elsewhere/out.go", Line: 1, Column: 1},
+			Rule:    "paslint",
+			Message: "malformed directive",
+		},
+	}
+	log := buildSARIF(diags, rules.All(), "/mod")
+
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "paslint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every registered rule plus the reserved "paslint" id is declared.
+	ids := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for _, a := range rules.All() {
+		if !ids[a.Name] {
+			t.Errorf("driver rules missing %q", a.Name)
+		}
+	}
+	if !ids["paslint"] {
+		t.Error("driver rules missing the reserved paslint id")
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "timerstop" || first.Level != "warning" {
+		t.Errorf("result 0 = %+v", first)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/ring/ring.go" {
+		t.Errorf("in-module path not relativized: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if out := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; out != "/elsewhere/out.go" {
+		t.Errorf("out-of-module path mangled: %q", out)
+	}
+}
+
+func TestJSONAndSARIFAreExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+// TestSARIFCleanRun lints one clean package end to end and checks the
+// emitted log parses and carries an empty (non-null) results array.
+func TestSARIFCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads stdlib sources")
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", root, "-sarif", "./internal/textkit"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Fatalf("clean run log malformed: %s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"results": []`)) {
+		t.Error("results must serialize as [] (code-scanning rejects null)")
+	}
+}

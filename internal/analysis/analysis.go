@@ -49,6 +49,11 @@ type Pass struct {
 	Path string
 	// Module is the module path the package was loaded under.
 	Module string
+	// Directives are every well-formed paslint directive in Files, in
+	// source order. Allow directives are applied by the runner after the
+	// analyzers report; rules that define their own markers (hotpathalloc
+	// and the hotpath verb) read them here.
+	Directives []Directive
 
 	diags *[]Diagnostic
 }

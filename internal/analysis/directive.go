@@ -13,24 +13,49 @@ import (
 // tool name, colon, verb.
 const directivePrefix = "//paslint:"
 
-// A Directive is one parsed //paslint:allow comment. It suppresses
-// findings of the named rules on its own line and on the line
-// immediately below it (so it can ride at the end of the offending line
-// or stand alone above it).
+// Directive verbs. VerbAllow suppresses findings; VerbHotPath marks a
+// function as an allocation-lean hot path for the hotpathalloc rule.
+const (
+	VerbAllow   = "allow"
+	VerbHotPath = "hotpath"
+)
+
+// A Directive is one parsed //paslint:<verb> comment.
+//
+// An allow directive suppresses findings of the named rules on its own
+// line and on the line immediately below it (so it can ride at the end
+// of the offending line or stand alone above it).
+//
+// A hotpath directive marks the function whose declaration starts on
+// its own line or the line below — i.e. it sits on the func line or in
+// the doc comment directly above — as a designated hot path: the
+// hotpathalloc rule then flags allocation-prone constructs in that
+// function's body.
 type Directive struct {
-	// Rules are the rule names the directive silences ("determinism",
-	// "ctxpropagate", ...). Never empty after a successful parse.
+	// Verb is VerbAllow or VerbHotPath.
+	Verb string
+	// Rules are the rule names an allow directive silences
+	// ("determinism", "ctxpropagate", ...). Never empty after a
+	// successful allow parse; always empty for hotpath.
 	Rules []string
 	// Reason is the mandatory human justification. paslint refuses
 	// reason-less directives: an unexplained suppression is just a bug
-	// with a comment on it.
+	// with a comment on it, and an unexplained hot-path marker gives the
+	// next reader no budget to hold the function to.
 	Reason string
+	// File is the source file the comment lives in (as rendered by the
+	// loader's FileSet). Line numbers alone collide across files.
+	File string
 	// Line is the 1-based source line the comment starts on.
 	Line int
 }
 
 // Covers reports whether the directive silences rule findings on line.
+// Only allow directives suppress anything.
 func (d Directive) Covers(rule string, line int) bool {
+	if d.Verb != VerbAllow {
+		return false
+	}
 	if line != d.Line && line != d.Line+1 {
 		return false
 	}
@@ -73,8 +98,15 @@ func ParseDirective(text string) (Directive, bool, error) {
 	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
 		verb, args = rest[:i], strings.TrimSpace(rest[i+1:])
 	}
-	if verb != "allow" {
-		return Directive{}, true, fmt.Errorf("unknown paslint directive %q (only paslint:allow is defined)", verb)
+	switch verb {
+	case VerbAllow:
+	case VerbHotPath:
+		if args == "" {
+			return Directive{}, true, fmt.Errorf("paslint:hotpath is missing its reason — say why this function must stay allocation-lean")
+		}
+		return Directive{Verb: VerbHotPath, Reason: args}, true, nil
+	default:
+		return Directive{}, true, fmt.Errorf("unknown paslint directive %q (paslint:allow and paslint:hotpath are defined)", verb)
 	}
 	ruleField := args
 	reason := ""
@@ -98,7 +130,7 @@ func ParseDirective(text string) (Directive, bool, error) {
 	if reason == "" {
 		return Directive{}, true, fmt.Errorf("paslint:allow %s is missing its reason — say why the finding is acceptable", ruleField)
 	}
-	return Directive{Rules: rules, Reason: reason}, true, nil
+	return Directive{Verb: VerbAllow, Rules: rules, Reason: reason}, true, nil
 }
 
 // isRuleName reports whether s looks like a rule identifier:
@@ -134,6 +166,7 @@ func fileDirectives(fset *token.FileSet, f *ast.File) ([]Directive, []Diagnostic
 				bad = append(bad, Diagnostic{Pos: pos, Rule: "paslint", Message: err.Error()})
 				continue
 			}
+			d.File = pos.Filename
 			d.Line = pos.Line
 			ds = append(ds, d)
 		}

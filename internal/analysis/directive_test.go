@@ -10,23 +10,27 @@ func TestParseDirective(t *testing.T) {
 		in        string
 		directive bool
 		wantErr   bool
+		verb      string
 		rules     []string
 		reason    string
 	}{
-		{"//paslint:allow determinism production jitter", true, false, []string{"determinism"}, "production jitter"},
-		{"paslint:allow errwrap,httpbody shared reason", true, false, []string{"errwrap", "httpbody"}, "shared reason"},
-		{"//paslint:allow lockheld   padded   reason  ", true, false, []string{"lockheld"}, "padded   reason"},
+		{"//paslint:allow determinism production jitter", true, false, VerbAllow, []string{"determinism"}, "production jitter"},
+		{"paslint:allow errwrap,httpbody shared reason", true, false, VerbAllow, []string{"errwrap", "httpbody"}, "shared reason"},
+		{"//paslint:allow lockheld   padded   reason  ", true, false, VerbAllow, []string{"lockheld"}, "padded   reason"},
+		{"//paslint:hotpath cache-hit path, see BENCH_serving.json", true, false, VerbHotPath, nil, "cache-hit path, see BENCH_serving.json"},
+		{"paslint:hotpath shard key of the routing tier", true, false, VerbHotPath, nil, "shard key of the routing tier"},
 		// Not directives at all.
-		{"// ordinary comment", false, false, nil, ""},
-		{"//nolint:errcheck", false, false, nil, ""},
-		{"/*paslint:allow x y*/", false, false, nil, ""},
+		{"// ordinary comment", false, false, "", nil, ""},
+		{"//nolint:errcheck", false, false, "", nil, ""},
+		{"/*paslint:allow x y*/", false, false, "", nil, ""},
 		// Malformed: directive-shaped but unusable.
-		{"//paslint:allow", true, true, nil, ""},
-		{"//paslint:allow determinism", true, true, nil, ""},            // no reason
-		{"//paslint:allow determinism,,errwrap why", true, true, nil, ""}, // empty element
-		{"//paslint:allow Determinism why", true, true, nil, ""},        // case
-		{"//paslint:deny determinism why", true, true, nil, ""},         // unknown verb
-		{"// paslint:allow determinism why", true, true, nil, ""},       // near-miss space
+		{"//paslint:allow", true, true, "", nil, ""},
+		{"//paslint:allow determinism", true, true, "", nil, ""},              // no reason
+		{"//paslint:allow determinism,,errwrap why", true, true, "", nil, ""}, // empty element
+		{"//paslint:allow Determinism why", true, true, "", nil, ""},          // case
+		{"//paslint:deny determinism why", true, true, "", nil, ""},           // unknown verb
+		{"// paslint:allow determinism why", true, true, "", nil, ""},         // near-miss space
+		{"//paslint:hotpath", true, true, "", nil, ""},                        // hotpath without reason
 	}
 	for _, tc := range cases {
 		d, isDirective, err := ParseDirective(tc.in)
@@ -41,6 +45,9 @@ func TestParseDirective(t *testing.T) {
 		if err != nil || !isDirective {
 			continue
 		}
+		if d.Verb != tc.verb {
+			t.Errorf("%q: verb=%q, want %q", tc.in, d.Verb, tc.verb)
+		}
 		if strings.Join(d.Rules, ",") != strings.Join(tc.rules, ",") {
 			t.Errorf("%q: rules=%v, want %v", tc.in, d.Rules, tc.rules)
 		}
@@ -51,7 +58,7 @@ func TestParseDirective(t *testing.T) {
 }
 
 func TestDirectiveCovers(t *testing.T) {
-	d := Directive{Rules: []string{"determinism"}, Reason: "r", Line: 10}
+	d := Directive{Verb: VerbAllow, Rules: []string{"determinism"}, Reason: "r", Line: 10}
 	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
 		if got := d.Covers("determinism", line); got != want {
 			t.Errorf("Covers(determinism, %d)=%v, want %v", line, got, want)
@@ -59,6 +66,10 @@ func TestDirectiveCovers(t *testing.T) {
 	}
 	if d.Covers("errwrap", 10) {
 		t.Error("directive covered a rule it does not name")
+	}
+	hp := Directive{Verb: VerbHotPath, Reason: "r", Line: 10}
+	if hp.Covers("determinism", 10) || hp.Covers("hotpathalloc", 11) {
+		t.Error("hotpath directive must never suppress findings")
 	}
 }
 
@@ -79,6 +90,8 @@ func FuzzParseDirective(f *testing.F) {
 		"//paslint:",
 		"//paslint:allow \t weird\tws",
 		"/*paslint:allow block comments never count*/",
+		"//paslint:hotpath cache-hit fast path",
+		"//paslint:hotpath",
 	} {
 		f.Add(seed)
 	}
@@ -88,13 +101,22 @@ func FuzzParseDirective(f *testing.F) {
 			t.Fatalf("non-directive returned error: %q -> %v", s, err)
 		}
 		if isDirective && err == nil {
-			if len(d.Rules) == 0 {
-				t.Fatalf("parsed directive with no rules: %q", s)
-			}
-			for _, r := range d.Rules {
-				if !isRuleName(r) {
-					t.Fatalf("parsed invalid rule name %q from %q", r, s)
+			switch d.Verb {
+			case VerbAllow:
+				if len(d.Rules) == 0 {
+					t.Fatalf("parsed allow directive with no rules: %q", s)
 				}
+				for _, r := range d.Rules {
+					if !isRuleName(r) {
+						t.Fatalf("parsed invalid rule name %q from %q", r, s)
+					}
+				}
+			case VerbHotPath:
+				if len(d.Rules) != 0 {
+					t.Fatalf("parsed hotpath directive with a rule list: %q", s)
+				}
+			default:
+				t.Fatalf("parsed directive with unknown verb %q from %q", d.Verb, s)
 			}
 			if d.Reason == "" {
 				t.Fatalf("parsed directive with empty reason: %q", s)

@@ -16,6 +16,8 @@ func TestRegistry(t *testing.T) {
 	want := map[string]bool{
 		"determinism": true, "ctxpropagate": true, "lockheld": true,
 		"errwrap": true, "httpbody": true,
+		"goroutineleak": true, "timerstop": true, "atomicmix": true,
+		"chanhygiene": true, "hotpathalloc": true,
 	}
 	got := All()
 	if len(got) != len(want) {

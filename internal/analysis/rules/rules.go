@@ -25,6 +25,11 @@ func All() []*analysis.Analyzer {
 		LockHeld,
 		ErrWrap,
 		HTTPBody,
+		GoroutineLeak,
+		TimerStop,
+		AtomicMix,
+		ChanHygiene,
+		HotPathAlloc,
 	}
 }
 

@@ -1,0 +1,67 @@
+// Package atomicmix is the fixture for the atomic-consistency
+// analyzer: a variable must be all-atomic or all-mutex, never both.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu    sync.Mutex
+	hits  int64 // accessed via sync/atomic everywhere
+	burst int64 // accessed atomically in Add, plainly in Reset: flagged
+	plain int64 // never atomic: free to use under mu
+}
+
+func (c *counters) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) Burst() {
+	atomic.AddInt64(&c.burst, 1)
+}
+
+// --- flagged: plain access to an atomically-shared field -----------------
+
+func (c *counters) Reset() {
+	c.burst = 0 // want `burst is accessed atomically at .* but plainly here`
+}
+
+func (c *counters) Skewed() int64 {
+	return c.burst // want `burst is accessed atomically at .* but plainly here`
+}
+
+// --- clean: consistent discipline ----------------------------------------
+
+func (c *counters) ResetHits() {
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func (c *counters) PlainUnderMu() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plain++
+	return c.plain
+}
+
+// clean: the struct literal names the fields without accessing them.
+func fresh() *counters {
+	return &counters{hits: 0, burst: 0, plain: 0}
+}
+
+// package-level atomic flag, consistently atomic.
+var ready int32
+
+func markReady()    { atomic.StoreInt32(&ready, 1) }
+func isReady() bool { return atomic.LoadInt32(&ready) == 1 }
+
+// --- suppressed ----------------------------------------------------------
+
+func (c *counters) allowedRead() int64 {
+	return c.burst //paslint:allow atomicmix fixture: single-goroutine snapshot during shutdown, racy read is acceptable
+}

@@ -1,0 +1,105 @@
+// Package chanhygiene is the fixture for the channel-ownership
+// analyzer: single closing owner, no send-after-close, no bare sends
+// in request handlers.
+package chanhygiene
+
+import (
+	"context"
+	"net/http"
+)
+
+// --- flagged: two functions close the same channel -----------------------
+
+type broker struct {
+	done chan struct{}
+	out  chan int
+}
+
+func (b *broker) shutdown() {
+	close(b.done) // want `done is closed in 2 different functions`
+}
+
+func (b *broker) abort() {
+	close(b.done) // want `done is closed in 2 different functions`
+}
+
+// --- flagged: send after close on the same path --------------------------
+
+func flushAndClose(ch chan int, vs []int) {
+	for _, v := range vs {
+		ch <- v
+	}
+	close(ch)
+	ch <- 0 // want `send on ch after close\(ch\) on this path`
+}
+
+// --- flagged: bare send in a request handler -----------------------------
+
+type server struct {
+	queue chan string
+}
+
+func (s *server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	s.queue <- r.URL.Path // want `blocking channel send in a request handler`
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// --- clean ---------------------------------------------------------------
+
+// clean: one closing owner; the other side only signals through it.
+func (b *broker) produce(vs []int) {
+	for _, v := range vs {
+		b.out <- v
+	}
+	close(b.out)
+}
+
+// clean: close in one branch, send in the sibling branch — different
+// paths.
+func branchedClose(ch chan int, done bool) {
+	if done {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+
+// clean: handler sends through a select with an escape hatch.
+func (s *server) handleEnqueueSafe(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.queue <- r.URL.Path:
+		w.WriteHeader(http.StatusAccepted)
+	case <-r.Context().Done():
+		http.Error(w, "client went away", http.StatusRequestTimeout)
+	default:
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+	}
+}
+
+// clean: the goroutine a handler spawns may block; the handler does
+// not.
+func (s *server) handleAsync(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	go func(ctx context.Context) {
+		select {
+		case s.queue <- path:
+		case <-ctx.Done():
+		}
+	}(context.WithoutCancel(r.Context()))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// clean: non-handler functions may block on sends; lockheld and
+// goroutineleak police their context.
+func pump(ch chan int, vs []int) {
+	for _, v := range vs {
+		ch <- v
+	}
+}
+
+// --- suppressed ----------------------------------------------------------
+
+func (s *server) handleAllowed(w http.ResponseWriter, r *http.Request) {
+	s.queue <- r.URL.Path //paslint:allow chanhygiene fixture: queue is buffered at connection-limit capacity, send cannot block
+	w.WriteHeader(http.StatusOK)
+}

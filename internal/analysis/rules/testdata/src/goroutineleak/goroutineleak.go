@@ -1,0 +1,129 @@
+// Package goroutineleak is the fixture for the goroutine-lifecycle
+// analyzer: unbounded loops with no cancellation path and discarded
+// context cancel functions.
+package goroutineleak
+
+import (
+	"context"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+// --- flagged: loops that nothing can stop --------------------------------
+
+func (w *worker) spinForever() {
+	go func() { // want `goroutine loops forever with no way to observe cancellation`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+func (w *worker) sleepForever() {
+	go func() { // want `goroutine loops forever with no way to observe cancellation`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// --- flagged: discarded cancel -------------------------------------------
+
+func discardedCancel(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `context\.WithCancel cancel function discarded`
+	return ctx
+}
+
+func discardedTimeout(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `context\.WithTimeout cancel function discarded`
+	return ctx
+}
+
+// --- clean: every loop can observe shutdown ------------------------------
+
+func (w *worker) selectLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func (w *worker) stopChanLoop() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func (w *worker) rangeLoop() {
+	go func() {
+		for j := range w.jobs { // range over a channel ends when it closes
+			_ = j
+		}
+	}()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// clean: the wait is delegated to a ctx-taking helper with an exit.
+func (w *worker) delegatedLoop(ctx context.Context) {
+	go func() {
+		for {
+			if err := sleepCtx(ctx, time.Second); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// clean: cancel kept and deferred.
+func keptCancel(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// clean: bounded loop needs no cancellation path.
+func (w *worker) boundedLoop() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			w.jobs <- i
+		}
+	}()
+}
+
+// --- suppressed ----------------------------------------------------------
+
+func (w *worker) allowedSpin() {
+	go func() { //paslint:allow goroutineleak fixture: process-lifetime pump, dies with the process by design
+		for {
+			w.jobs <- 0
+		}
+	}()
+}

@@ -1,0 +1,97 @@
+// Package hotpathalloc is the fixture for the hot-path allocation
+// analyzer: //paslint:hotpath-marked functions must not allocate.
+package hotpathalloc
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+type entry struct {
+	key string
+	val []byte
+	at  time.Time
+}
+
+type cache struct {
+	m   map[string]*entry
+	now func() time.Time
+}
+
+// --- flagged: allocation-prone constructs in a marked function ----------
+
+//paslint:hotpath fixture: cache-hit path budget is one map lookup
+func (c *cache) Get(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		miss := fmt.Sprintf("miss:%s", key) // want `fmt\.Sprintf allocates on a hotpath function`
+		_ = miss
+		return nil, false
+	}
+	e.at = time.Now() // want `time\.Now on a hotpath function`
+	return e.val, true
+}
+
+//paslint:hotpath fixture: key construction runs once per request
+func makeKey(tenant string, id []byte) string {
+	return tenant + ":" + string(id) // want `string<->bytes conversion copies on a hotpath function`
+}
+
+var audit []*entry
+
+//paslint:hotpath fixture: must not grow the audit trail per hit
+func recordHit(key string) {
+	audit = append(audit, &entry{key: key}) // want `escaping composite literal allocates on a hotpath function`
+}
+
+// --- clean: unmarked functions allocate freely ---------------------------
+// (A marker that matches no function is its own finding; see the
+// hotpathstale fixture, driven through the runner directly because
+// that diagnostic lands on the directive's own line.)
+
+func (c *cache) GetSlow(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		_ = fmt.Sprintf("miss:%s", key)
+		return nil, false
+	}
+	e.at = time.Now()
+	return e.val, true
+}
+
+// clean: marked but allocation-free — strconv, injected clock, local
+// scratch that never escapes.
+//
+//paslint:hotpath fixture: the disciplined version of the hit path
+func (c *cache) GetLean(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	e.at = c.now()
+	return e.val, true
+}
+
+//paslint:hotpath fixture: integer rendering without fmt
+func renderStatus(code int) string {
+	return "status=" + strconv.Itoa(code)
+}
+
+//paslint:hotpath fixture: local scratch slices stay on the stack
+func sumWindow(vs []int) int {
+	window := []int{0, 0, 0}
+	total := 0
+	for i, v := range vs {
+		window[i%3] = v
+		total += v
+	}
+	return total
+}
+
+// --- suppressed ----------------------------------------------------------
+
+//paslint:hotpath fixture: one deliberate allocation, accounted for
+func annotate(key string) string {
+	return fmt.Sprintf("hot:%s", key) //paslint:allow hotpathalloc fixture: startup-only call despite the marker, measured at 0.1% of hits
+}

@@ -1,0 +1,11 @@
+// Package hotpathstale holds exactly one finding: a hotpath marker
+// separated from any function declaration. Checked by a direct runner
+// test in hotpathalloc_test.go, not by want comments — the diagnostic
+// lands on the directive's own line, where no want comment can sit.
+package hotpathstale
+
+//paslint:hotpath the function this marked was inlined into its caller
+
+var relocated = true
+
+func elsewhere() int { return 1 }

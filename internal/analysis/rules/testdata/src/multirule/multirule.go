@@ -1,0 +1,38 @@
+// Package multirule exercises several analyzers over one file: two
+// rules firing on the same line, and an allow directive that silences
+// exactly the rule it names while the other keeps reporting.
+package multirule
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// --- both rules fire on one line -----------------------------------------
+
+//paslint:hotpath fixture: rendered once per request on the hit path
+func (s *stats) render() string {
+	return fmt.Sprintf("hits=%d", s.hits) // want `atomicmix::hits is accessed atomically` `hotpathalloc::fmt\.Sprintf allocates on a hotpath function`
+}
+
+// --- the allow silences atomicmix only; hotpathalloc still reports -------
+
+//paslint:hotpath fixture: same shape, one finding waived
+func (s *stats) renderAllowed() string {
+	//paslint:allow atomicmix fixture: shutdown-time display read, a racy value is acceptable
+	return fmt.Sprintf("hits=%d", s.hits) // want `hotpathalloc::fmt\.Sprintf allocates on a hotpath function`
+}
+
+// --- clean under both ----------------------------------------------------
+
+func (s *stats) snapshot() int64 {
+	return atomic.LoadInt64(&s.hits)
+}

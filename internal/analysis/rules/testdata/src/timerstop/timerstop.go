@@ -1,0 +1,102 @@
+// Package timerstop is the fixture for the timer/ticker lifecycle
+// analyzer: time.Tick, time.After in loops, and unstopped locals.
+package timerstop
+
+import (
+	"context"
+	"time"
+)
+
+// --- flagged: time.Tick is a permanent leak ------------------------------
+
+func tickLeak(work func()) {
+	for range time.Tick(time.Second) { // want `time\.Tick leaks its ticker forever`
+		work()
+	}
+}
+
+// --- flagged: time.After in a loop ---------------------------------------
+
+func afterInLoop(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second): // want `time\.After in a loop allocates an un-stoppable timer per iteration`
+		case j := <-jobs:
+			_ = j
+		}
+	}
+}
+
+// --- flagged: not stopped on every return path ---------------------------
+
+func earlyReturnLeak(d time.Duration, skip bool) {
+	t := time.NewTimer(d)
+	if skip {
+		return // want `t from time\.NewTimer is not stopped on this return path`
+	}
+	<-t.C
+	t.Stop()
+}
+
+func neverStopped(d time.Duration) {
+	tk := time.NewTicker(d)
+	<-tk.C
+} // want `tk from time\.NewTicker is not stopped on this return path`
+
+// --- clean ---------------------------------------------------------------
+
+func deferredStop(d time.Duration, skip bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if skip {
+		return
+	}
+	<-t.C
+}
+
+// clean: time.After outside a loop is one timer, not one per iteration.
+func singleAfter(d time.Duration) {
+	<-time.After(d)
+}
+
+// clean: the timer escapes; its receiver owns Stop.
+type pacer struct {
+	t *time.Timer
+}
+
+func newPacer(d time.Duration) *pacer {
+	t := time.NewTimer(d)
+	return &pacer{t: t}
+}
+
+// clean: returned directly.
+func makeTimer(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// clean: a callback defined inside the loop does not multiply the
+// timer per iteration.
+func afterInCallback(ds []time.Duration) []func() {
+	var fns []func()
+	for range ds {
+		fns = append(fns, func() {
+			<-time.After(time.Millisecond)
+		})
+	}
+	return fns
+}
+
+// --- suppressed ----------------------------------------------------------
+
+func allowedAfter(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Minute): //paslint:allow timerstop fixture: fires once a minute, the garbage is negligible
+		}
+	}
+}

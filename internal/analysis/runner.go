@@ -16,14 +16,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		var diags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Path:     pkg.Path,
-				Module:   pkg.Module,
-				diags:    &diags,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Path:       pkg.Path,
+				Module:     pkg.Module,
+				Directives: pkg.directives,
+				diags:      &diags,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
@@ -54,6 +55,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 func suppressed(ds []Directive, d Diagnostic) bool {
 	for _, dir := range ds {
+		if dir.File != "" && dir.File != d.Pos.Filename {
+			continue
+		}
 		if dir.Covers(d.Rule, d.Pos.Line) {
 			return true
 		}

@@ -224,11 +224,9 @@ func parallelFor(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
+			// The claim lives in the loop header so the bound is visible:
+			// next only grows, so every worker exits once it passes n.
+			for i := int(atomic.AddInt64(&next, 1)); i < n; i = int(atomic.AddInt64(&next, 1)) {
 				fn(i)
 			}
 		}()

@@ -212,6 +212,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	start := time.Now()
 	go func() {
 		defer close(idxCh)
+		// One pacing timer reused across iterations: time.After here
+		// would allocate a timer per request that only frees when it
+		// fires, which at load-test QPS is a steady heap of garbage.
+		var pace *time.Timer
+		defer func() {
+			if pace != nil {
+				pace.Stop()
+			}
+		}()
 		for n := 0; ; n++ {
 			if cfg.Requests > 0 && n >= cfg.Requests {
 				return
@@ -227,8 +236,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			if cfg.QPS > 0 {
 				next := start.Add(time.Duration(float64(n) / cfg.QPS * float64(time.Second)))
 				if d := time.Until(next); d > 0 {
+					if pace == nil {
+						pace = time.NewTimer(d)
+					} else {
+						// The only way past the previous select is draining
+						// pace.C, so Reset never races a pending fire.
+						pace.Reset(d)
+					}
 					select {
-					case <-time.After(d):
+					case <-pace.C:
 					case <-cfg.Stop:
 						return
 					case <-ctx.Done():

@@ -201,6 +201,8 @@ func New(fn Func, cfg Config) (*Core, error) {
 // bytes, so a request routed to a replica lands on the same key the
 // replica's own cache uses — byte-for-byte agreement is what gives the
 // cluster its per-key cache locality.
+//
+//paslint:hotpath computed per request and per ring route; one concat, no conversions (BENCH_serving.json)
 func Key(prompt, salt, model string) string {
 	return prompt + "\x00" + salt + "\x00" + model
 }
@@ -226,6 +228,8 @@ func SplitKey(k string) (prompt, salt, model string, ok bool) {
 // front several model versions without cross-talk. On success it
 // returns p_c; on overload it returns ErrQueueFull or ErrDeadline; a
 // context that ends first returns its ctx.Err().
+//
+//paslint:hotpath cache-hit path budget is key+lookup+finish; the paper's p50 assumes hits do not allocate
 func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, error) {
 	atomic.AddInt64(&c.requests, 1)
 	if err := ctx.Err(); err != nil {
@@ -251,7 +255,7 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 	}
 	lookup.End()
 
-	v, shared, err := c.flight.do(ctx, k, func() (string, error) {
+	v, shared, err := c.flight.do(ctx, k, func() (string, error) { //paslint:allow hotpathalloc miss-path leader closure; the hit path has already returned by this line
 		// The single-flight leader runs here; followers share its
 		// outcome, so the spans below describe the one real computation.
 		//
