@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -175,6 +176,45 @@ func TestClusterE2EAllDownDegrades(t *testing.T) {
 	}
 	if s := f.client.Stats(); s.Degraded == 0 {
 		t.Fatalf("ring client did not count the degraded request: %+v", s)
+	}
+}
+
+// TestClusterE2EBenchServing regenerates BENCH_serving.json: the same
+// cluster shape as TestClusterE2ELocality driven at the committed
+// baseline's parameters (chat mode, 2000 requests at 400 QPS, seed 42,
+// concurrency 16). It only runs when PAS_BENCH_OUT names the output
+// path — `PAS_BENCH_OUT=BENCH_serving.json go test -run
+// '^TestClusterE2EBenchServing$' .` — so the regular suite stays fast.
+func TestClusterE2EBenchServing(t *testing.T) {
+	path := os.Getenv("PAS_BENCH_OUT")
+	if path == "" {
+		t.Skip("set PAS_BENCH_OUT=BENCH_serving.json to regenerate the serving benchmark report")
+	}
+	f := newClusterFixture(t, nil)
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      f.front.URL,
+		Mode:        loadgen.ModeChat,
+		Model:       simllm.GPT40613,
+		Prompts:     benchPrompts(500),
+		Requests:    2000,
+		QPS:         400,
+		Concurrency: 16,
+		Seed:        42,
+		Replicas:    f.replicaURLs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d requests failed (first: %s)", rep.Errors, rep.Requests, rep.FirstError)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,161 @@
+// Command pasbench runs the hot-path benchmark suite
+// (internal/benchtrack) and maintains the committed performance
+// trajectory, BENCH_hotpath.json.
+//
+// Usage:
+//
+//	pasbench [-out BENCH_hotpath.json]            # measure and write
+//	pasbench -compare BENCH_hotpath.json          # measure and gate
+//	pasbench -list                                # names only
+//
+// Flags:
+//
+//	-out FILE         write the measured report as JSON
+//	-compare FILE     diff the measured report against the committed
+//	                  baseline; exit 1 on regression
+//	-bench REGEX      run only matching benchmarks
+//	-reps N           repetitions per benchmark (default 5)
+//	-max-ops N        cap micro-benchmark ops per rep (CI smoke)
+//	-profile-dir DIR  capture per-benchmark CPU/heap pprof profiles
+//	-tol-latency F    allowed fractional latency growth (default 0.75)
+//	-tol-alloc F      allowed fractional allocs/op growth (default 0.25)
+//	-iqr-mult F       baseline-IQR multiplier in the noise band (default 3)
+//
+// Exit status: 0 clean (or improved), 1 regression (or a benchmark
+// missing against the baseline), 2 operational failure (bad flags,
+// unreadable baseline, schema mismatch, benchmark error).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"repro/internal/benchtrack"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pasbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", "", "write the measured report JSON to this file")
+		compare    = fs.String("compare", "", "baseline report to gate against (exit 1 on regression)")
+		benchRE    = fs.String("bench", "", "run only benchmarks matching this regexp")
+		reps       = fs.Int("reps", 5, "repetitions per benchmark")
+		maxOps     = fs.Int("max-ops", 0, "cap micro-benchmark ops per rep (0 = declared counts)")
+		profileDir = fs.String("profile-dir", "", "write per-benchmark CPU/heap pprof profiles here")
+		tolLatency = fs.Float64("tol-latency", 0, "allowed fractional latency growth (0 = default 0.75)")
+		tolAlloc   = fs.Float64("tol-alloc", 0, "allowed fractional allocs/op growth (0 = default 0.25)")
+		iqrMult    = fs.Float64("iqr-mult", 0, "baseline-IQR multiplier in the noise band (0 = default 3)")
+		list       = fs.Bool("list", false, "list registered benchmarks and exit")
+		quiet      = fs.Bool("q", false, "suppress per-rep progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := benchtrack.Suite()
+	if *list {
+		for _, b := range suite {
+			fmt.Fprintln(stdout, b.Name)
+		}
+		return 0
+	}
+
+	var filter *regexp.Regexp
+	if *benchRE != "" {
+		re, err := regexp.Compile(*benchRE)
+		if err != nil {
+			fmt.Fprintf(stderr, "pasbench: bad -bench regexp: %v\n", err)
+			return 2
+		}
+		filter = re
+	}
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "pasbench: %v\n", err)
+			return 2
+		}
+	}
+
+	opts := benchtrack.Options{
+		Reps:       *reps,
+		Filter:     filter,
+		MaxOps:     *maxOps,
+		ProfileDir: *profileDir,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	report, err := benchtrack.Run(suite, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasbench: %v\n", err)
+		return 2
+	}
+
+	for _, r := range report.Benchmarks {
+		fmt.Fprintf(stdout, "%-24s p50=%9.0fns p99=%9.0fns qps=%10.0f allocs/op=%7.2f bytes/op=%9.0f\n",
+			r.Name, r.P50Ns, r.P99Ns, r.QPS, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "pasbench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "pasbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pasbench: report written to %s\n", *out)
+	}
+
+	if *compare == "" {
+		return 0
+	}
+	blob, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasbench: reading baseline: %v\n", err)
+		return 2
+	}
+	var baseline benchtrack.Report
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		fmt.Fprintf(stderr, "pasbench: decoding baseline %s: %v\n", *compare, err)
+		return 2
+	}
+	deltas, regressed, err := benchtrack.Compare(baseline, report, benchtrack.Tolerance{
+		LatencyFrac: *tolLatency,
+		AllocFrac:   *tolAlloc,
+		IQRMult:     *iqrMult,
+	})
+	if err != nil {
+		if errors.Is(err, benchtrack.ErrSchemaMismatch) {
+			fmt.Fprintf(stderr, "pasbench: %v (regenerate the baseline with -out)\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pasbench: %v\n", err)
+		return 2
+	}
+	for _, d := range deltas {
+		fmt.Fprintf(stdout, "%-24s %s\n", d.Name, d.Verdict)
+		for _, line := range d.Details {
+			fmt.Fprintf(stdout, "    %s\n", line)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "pasbench: REGRESSION against %s\n", *compare)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchtrack"
+)
+
+// fastArgs keeps CLI tests sub-second: one rep of one micro benchmark
+// at a few hundred ops.
+func fastArgs(extra ...string) []string {
+	return append([]string{"-q", "-reps", "1", "-max-ops", "500", "-bench", "^serving_key$"}, extra...)
+}
+
+func TestRunMeasureAndGateOK(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_hotpath.json")
+
+	var out, errOut strings.Builder
+	if code := run(fastArgs("-out", baseline), &out, &errOut); code != 0 {
+		t.Fatalf("measure run exited %d: %s", code, errOut.String())
+	}
+	blob, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchtrack.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if rep.SchemaVersion != benchtrack.SchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, benchtrack.SchemaVersion)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "serving_key" {
+		t.Fatalf("unexpected benchmarks: %+v", rep.Benchmarks)
+	}
+
+	// Re-measuring against our own fresh numbers must pass the gate.
+	out.Reset()
+	errOut.Reset()
+	if code := run(fastArgs("-compare", baseline), &out, &errOut); code != 0 {
+		t.Fatalf("self-compare exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "serving_key") {
+		t.Errorf("compare output missing delta line:\n%s", out.String())
+	}
+}
+
+// The CI-gate acceptance path: a baseline that claims the hot path
+// used to be 10x faster (an injected regression from the gate's point
+// of view) must exit 1.
+func TestRunGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_hotpath.json")
+
+	var out, errOut strings.Builder
+	if code := run(fastArgs("-out", baseline), &out, &errOut); code != 0 {
+		t.Fatalf("measure run exited %d: %s", code, errOut.String())
+	}
+	blob, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchtrack.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Benchmarks {
+		rep.Benchmarks[i].P50Ns /= 10
+		rep.Benchmarks[i].P99Ns /= 10
+		rep.Benchmarks[i].P50IQRNs = 0
+		rep.Benchmarks[i].P99IQRNs = 0
+	}
+	doctored, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code := run(fastArgs("-compare", baseline), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("gate exited %d against a 10x-faster baseline, want 1\n%s%s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "regression") {
+		t.Errorf("gate output does not name the regression:\n%s", out.String())
+	}
+}
+
+func TestRunOperationalFailures(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+
+	// Missing baseline file.
+	if code := run(fastArgs("-compare", filepath.Join(dir, "nope.json")), &out, &errOut); code != 2 {
+		t.Errorf("missing baseline exited %d, want 2", code)
+	}
+
+	// Schema mismatch.
+	baseline := filepath.Join(dir, "old.json")
+	old := benchtrack.Report{SchemaVersion: benchtrack.SchemaVersion + 1,
+		Benchmarks: []benchtrack.Result{{Name: "serving_key"}}}
+	blob, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run(fastArgs("-compare", baseline), &out, &errOut); code != 2 {
+		t.Errorf("schema mismatch exited %d, want 2", code)
+	} else if !strings.Contains(errOut.String(), "schema") {
+		t.Errorf("schema mismatch not named: %s", errOut.String())
+	}
+
+	// Bad -bench regexp.
+	if code := run([]string{"-bench", "("}, &out, &errOut); code != 2 {
+		t.Errorf("bad regexp exited %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, want := range []string{"serving_key", "cached_augment", "singleflight_miss",
+		"degraded_breaker_open", "ring_owner", "loadgen_cluster"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing %s:\n%s", want, out.String())
+		}
+	}
+}

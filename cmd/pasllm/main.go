@@ -65,6 +65,8 @@ func main() {
 	metrics := httpmw.NewMetrics()
 	metrics.Register(reg)
 	server.RegisterMetrics(reg)
+	obs.RegisterBuildInfo(reg, "pasllm")
+	obs.RegisterRuntimeMetrics(reg)
 
 	logger := log.New(os.Stderr, "pasllm: ", 0)
 	mux := http.NewServeMux()

@@ -109,6 +109,8 @@ func main() {
 	metrics := httpmw.NewMetrics()
 	metrics.Register(reg)
 	resilience.RegisterMetrics(reg)
+	obs.RegisterBuildInfo(reg, "pasproxy")
+	obs.RegisterRuntimeMetrics(reg)
 
 	mux := http.NewServeMux()
 	var proxy *pas.Proxy

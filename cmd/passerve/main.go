@@ -122,6 +122,8 @@ func main() {
 	metrics.Register(reg)
 	sys.RegisterMetrics(reg)
 	resilience.RegisterMetrics(reg)
+	obs.RegisterBuildInfo(reg, "passerve")
+	obs.RegisterRuntimeMetrics(reg)
 
 	logger := log.New(os.Stderr, "passerve: ", 0)
 	mux := http.NewServeMux()

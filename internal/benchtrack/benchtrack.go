@@ -1,0 +1,349 @@
+// Package benchtrack is the benchmark-trajectory subsystem: a
+// registered suite of hot-path measurements (see suite.go) run
+// in-process by cmd/pasbench, recorded into a schema-versioned report
+// (the committed BENCH_hotpath.json), and diffed against that baseline
+// by a noise-aware comparator (compare.go) so CI fails when the hot
+// path regresses — before anyone notices it in production.
+//
+// Methodology: each benchmark runs K independent repetitions
+// (Options.Reps); within a rep, per-op latency is sampled with a
+// monotonic clock and allocations with runtime.ReadMemStats deltas.
+// The recorded result is the median across reps, with the inter-rep
+// IQR kept alongside so the comparator can widen its tolerance where a
+// benchmark is genuinely noisy (shared CI runners) instead of using
+// one global fudge factor.
+package benchtrack
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SchemaVersion is stamped into every Report; the comparator refuses
+// to diff reports of different versions rather than misread fields.
+const SchemaVersion = 1
+
+// Report is the trajectory file shape (BENCH_hotpath.json).
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from ("unknown"
+	// for unstamped builds — go test, go run).
+	Revision   string   `json:"revision"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Result is one benchmark's median-of-reps measurement.
+type Result struct {
+	Name      string `json:"name"`
+	Reps      int    `json:"reps"`
+	OpsPerRep int    `json:"ops_per_rep"`
+	// Latency quantiles in nanoseconds per op (median across reps).
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	// QPS is ops per wall-clock second (median across reps).
+	QPS float64 `json:"qps"`
+	// AllocsPerOp / BytesPerOp are ReadMemStats deltas divided by ops;
+	// zero for macro benchmarks that cannot isolate their allocations.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// P50IQRNs / P99IQRNs are the interquartile ranges of the per-rep
+	// quantiles — the noise band the comparator adds to its tolerance.
+	P50IQRNs float64 `json:"p50_iqr_ns"`
+	P99IQRNs float64 `json:"p99_iqr_ns"`
+}
+
+// RepSample is one repetition's measurement, produced either by the
+// runner's micro loop or by a macro benchmark's RunRep.
+type RepSample struct {
+	P50Ns       float64
+	P99Ns       float64
+	QPS         float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	// Ops is how many operations the rep measured (macro benchmarks
+	// report it themselves; micro reps use Benchmark.Ops).
+	Ops int
+}
+
+// Benchmark is one registered measurement. Exactly one of Setup (micro
+// form: the runner times op() Ops times per rep) or RunRep (macro
+// form: the benchmark measures one whole rep itself, e.g. a loadgen
+// cluster run) must be set.
+type Benchmark struct {
+	Name string
+	// Ops per rep for the micro form. Ignored when RunRep is set.
+	Ops int
+	// Setup builds the op under measurement plus its cleanup; it runs
+	// once per rep so state (caches, cores) never leaks across reps.
+	Setup func() (op func() error, cleanup func(), err error)
+	// RunRep runs one macro repetition.
+	RunRep func() (RepSample, error)
+}
+
+// Options shapes a Run.
+type Options struct {
+	// Reps is the repetition count per benchmark. Default 5.
+	Reps int
+	// Filter, when non-nil, selects benchmarks by name.
+	Filter *regexp.Regexp
+	// MaxOps caps micro-benchmark ops per rep (CI smoke runs). 0 keeps
+	// each benchmark's declared count.
+	MaxOps int
+	// ProfileDir, when set, captures one extra uncounted rep per micro
+	// benchmark under the CPU profiler and writes <name>.cpu.pprof plus
+	// a post-rep <name>.heap.pprof there.
+	ProfileDir string
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Run executes every suite benchmark matching opts.Filter and returns
+// the stamped report. Benchmarks run sequentially — parallel
+// benchmarks would contend and corrupt each other's latency samples.
+func Run(suite []Benchmark, opts Options) (Report, error) {
+	if opts.Reps <= 0 {
+		opts.Reps = 5
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+	}
+	for _, b := range suite {
+		if opts.Filter != nil && !opts.Filter.MatchString(b.Name) {
+			continue
+		}
+		res, err := runOne(b, opts, logf)
+		if err != nil {
+			return Report{}, fmt.Errorf("benchtrack: %s: %w", b.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return Report{}, errors.New("benchtrack: no benchmarks matched")
+	}
+	return rep, nil
+}
+
+func runOne(b Benchmark, opts Options, logf func(string, ...any)) (Result, error) {
+	if (b.Setup == nil) == (b.RunRep == nil) {
+		return Result{}, errors.New("exactly one of Setup or RunRep must be set")
+	}
+	ops := b.Ops
+	if opts.MaxOps > 0 && ops > opts.MaxOps {
+		ops = opts.MaxOps
+	}
+	samples := make([]RepSample, 0, opts.Reps)
+	for r := 0; r < opts.Reps; r++ {
+		var s RepSample
+		var err error
+		if b.RunRep != nil {
+			s, err = b.RunRep()
+		} else {
+			s, err = microRep(b, ops, false, "")
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("rep %d: %w", r+1, err)
+		}
+		samples = append(samples, s)
+		logf("%s rep %d/%d: p50=%.0fns p99=%.0fns qps=%.0f allocs/op=%.2f",
+			b.Name, r+1, opts.Reps, s.P50Ns, s.P99Ns, s.QPS, s.AllocsPerOp)
+	}
+	if opts.ProfileDir != "" && b.Setup != nil {
+		if _, err := microRep(b, ops, true, filepath.Join(opts.ProfileDir, b.Name)); err != nil {
+			return Result{}, fmt.Errorf("profile rep: %w", err)
+		}
+		logf("%s: profiles written to %s.{cpu,heap}.pprof", b.Name, filepath.Join(opts.ProfileDir, b.Name))
+	}
+	return aggregate(b.Name, samples), nil
+}
+
+// microRep runs one timed repetition of a micro benchmark. When
+// profile is set, the rep runs under the CPU profiler and dumps a heap
+// profile afterwards; profiled reps are never used for measurement.
+func microRep(b Benchmark, ops int, profile bool, profilePrefix string) (RepSample, error) {
+	op, cleanup, err := b.Setup()
+	if err != nil {
+		return RepSample{}, fmt.Errorf("setup: %w", err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	// Warm up outside the measured window: first-op costs (lazy init,
+	// cache fill paths) belong to Setup's story, not the steady state.
+	warm := ops / 10
+	if warm > 100 {
+		warm = 100
+	}
+	if warm < 1 {
+		warm = 1
+	}
+	for i := 0; i < warm; i++ {
+		if err := op(); err != nil {
+			return RepSample{}, fmt.Errorf("warmup op: %w", err)
+		}
+	}
+
+	if profile {
+		f, err := os.Create(profilePrefix + ".cpu.pprof")
+		if err != nil {
+			return RepSample{}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return RepSample{}, err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+
+	// The latency slice is preallocated before the MemStats window so
+	// the harness's own allocations never count against the op.
+	lat := make([]float64, ops)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	wall := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			return RepSample{}, fmt.Errorf("op %d: %w", i, err)
+		}
+		lat[i] = float64(time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(wall)
+	runtime.ReadMemStats(&after)
+
+	if profile {
+		hf, err := os.Create(profilePrefix + ".heap.pprof")
+		if err != nil {
+			return RepSample{}, err
+		}
+		werr := pprof.WriteHeapProfile(hf)
+		cerr := hf.Close()
+		if werr != nil {
+			return RepSample{}, werr
+		}
+		if cerr != nil {
+			return RepSample{}, cerr
+		}
+	}
+
+	s := RepSample{
+		P50Ns: quantile(lat, 0.50),
+		P99Ns: quantile(lat, 0.99),
+		Ops:   ops,
+	}
+	if elapsed > 0 {
+		s.QPS = float64(ops) / elapsed.Seconds()
+	}
+	s.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	s.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	return s, nil
+}
+
+// aggregate folds per-rep samples into the recorded Result: median per
+// metric, IQR across reps for the latency quantiles.
+func aggregate(name string, samples []RepSample) Result {
+	pick := func(f func(RepSample) float64) []float64 {
+		xs := make([]float64, len(samples))
+		for i, s := range samples {
+			xs[i] = f(s)
+		}
+		return xs
+	}
+	p50s := pick(func(s RepSample) float64 { return s.P50Ns })
+	p99s := pick(func(s RepSample) float64 { return s.P99Ns })
+	return Result{
+		Name:        name,
+		Reps:        len(samples),
+		OpsPerRep:   samples[0].Ops,
+		P50Ns:       median(p50s),
+		P99Ns:       median(p99s),
+		QPS:         median(pick(func(s RepSample) float64 { return s.QPS })),
+		AllocsPerOp: median(pick(func(s RepSample) float64 { return s.AllocsPerOp })),
+		BytesPerOp:  median(pick(func(s RepSample) float64 { return s.BytesPerOp })),
+		P50IQRNs:    iqr(p50s),
+		P99IQRNs:    iqr(p99s),
+	}
+}
+
+func quantile(xs []float64, q float64) float64 {
+	v, err := metrics.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// iqr is the interquartile range — the spread of the middle half of
+// the reps, robust to a single outlier rep (a GC pause, a noisy
+// neighbor on a shared runner).
+func iqr(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) < 2 {
+		return 0
+	}
+	return quantile(s, 0.75) - quantile(s, 0.25)
+}
+
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

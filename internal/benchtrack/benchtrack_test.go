@@ -1,0 +1,163 @@
+package benchtrack
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestRunMicroBenchmark(t *testing.T) {
+	setups, cleanups := 0, 0
+	suite := []Benchmark{{
+		Name: "spin",
+		Ops:  2000,
+		Setup: func() (func() error, func(), error) {
+			setups++
+			buf := make([]byte, 64)
+			op := func() error {
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+				return nil
+			}
+			return op, func() { cleanups++ }, nil
+		},
+	}}
+	rep, err := Run(suite, Options{Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.GeneratedUnix <= 0 || rep.GoVersion == "" || rep.Revision == "" {
+		t.Errorf("provenance incomplete: %+v", rep)
+	}
+	if setups != 3 || cleanups != 3 {
+		t.Errorf("setups=%d cleanups=%d, want 3 each (one per rep)", setups, cleanups)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	r := rep.Benchmarks[0]
+	if r.Name != "spin" || r.Reps != 3 || r.OpsPerRep != 2000 {
+		t.Errorf("result meta wrong: %+v", r)
+	}
+	if r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+		t.Errorf("bad quantiles: p50=%v p99=%v", r.P50Ns, r.P99Ns)
+	}
+	if r.QPS <= 0 {
+		t.Error("QPS not computed")
+	}
+}
+
+func TestRunMacroBenchmark(t *testing.T) {
+	reps := 0
+	suite := []Benchmark{{
+		Name: "macro",
+		RunRep: func() (RepSample, error) {
+			reps++
+			return RepSample{P50Ns: 100, P99Ns: 300, QPS: 5000, Ops: 42}, nil
+		},
+	}}
+	rep, err := Run(suite, Options{Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps != 4 {
+		t.Errorf("RunRep calls = %d, want 4", reps)
+	}
+	r := rep.Benchmarks[0]
+	if r.P50Ns != 100 || r.P99Ns != 300 || r.QPS != 5000 || r.OpsPerRep != 42 {
+		t.Errorf("macro result wrong: %+v", r)
+	}
+	if r.P50IQRNs != 0 {
+		t.Errorf("identical reps must have zero IQR, got %v", r.P50IQRNs)
+	}
+}
+
+func TestRunFilterAndMaxOps(t *testing.T) {
+	opsSeen := 0
+	suite := []Benchmark{
+		{Name: "wanted", Ops: 100000, Setup: func() (func() error, func(), error) {
+			opsSeen = 0
+			return func() error { opsSeen++; return nil }, nil, nil
+		}},
+		{Name: "skipped", RunRep: func() (RepSample, error) {
+			t.Error("filtered-out benchmark ran")
+			return RepSample{}, nil
+		}},
+	}
+	rep, err := Run(suite, Options{Reps: 1, Filter: regexp.MustCompile("^wanted$"), MaxOps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "wanted" {
+		t.Fatalf("filter failed: %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].OpsPerRep != 50 {
+		t.Errorf("MaxOps not applied: ops=%d", rep.Benchmarks[0].OpsPerRep)
+	}
+	// opsSeen counts warmup + measured ops of the last rep.
+	if opsSeen < 50 {
+		t.Errorf("only %d ops ran", opsSeen)
+	}
+
+	if _, err := Run(suite, Options{Filter: regexp.MustCompile("nothing-matches")}); err == nil {
+		t.Fatal("empty match must be an error, not an empty report")
+	}
+}
+
+func TestRunBenchmarkErrorPropagates(t *testing.T) {
+	wantErr := errors.New("op exploded")
+	suite := []Benchmark{{
+		Name: "boom",
+		Ops:  10,
+		Setup: func() (func() error, func(), error) {
+			n := 0
+			return func() error {
+				n++
+				if n > 3 {
+					return wantErr
+				}
+				return nil
+			}, nil, nil
+		},
+	}}
+	if _, err := Run(suite, Options{Reps: 1}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, wantErr)
+	}
+
+	both := []Benchmark{{Name: "both-set",
+		Setup:  func() (func() error, func(), error) { return nil, nil, nil },
+		RunRep: func() (RepSample, error) { return RepSample{}, nil }}}
+	if _, err := Run(both, Options{}); err == nil {
+		t.Fatal("benchmark with both Setup and RunRep must be rejected")
+	}
+}
+
+func TestRunProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	suite := []Benchmark{{
+		Name: "profiled",
+		Ops:  500,
+		Setup: func() (func() error, func(), error) {
+			return func() error { _ = make([]byte, 128); return nil }, nil, nil
+		},
+	}}
+	if _, err := Run(suite, Options{Reps: 1, ProfileDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"profiled.cpu.pprof", "profiled.heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s not written: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

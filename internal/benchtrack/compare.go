@@ -1,0 +1,159 @@
+package benchtrack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSchemaMismatch reports that baseline and current were generated
+// under different report schemas; the diff would be meaningless, so
+// the comparator refuses instead of guessing.
+var ErrSchemaMismatch = errors.New("benchtrack: report schema mismatch")
+
+// Tolerance is the comparator's noise policy. Zero fields select the
+// defaults, which are deliberately generous: the gate runs on shared
+// CI runners, and a flaky perf gate is worse than a loose one —
+// genuine regressions (the injected-2x kind) clear these bars easily.
+type Tolerance struct {
+	// LatencyFrac is the allowed fractional latency growth before the
+	// IQR band is added (0.75 = +75%). Default 0.75.
+	LatencyFrac float64
+	// IQRMult scales the baseline's inter-rep IQR added on top of the
+	// fractional band. Default 3.
+	IQRMult float64
+	// AllocFrac is the allowed fractional allocs/op growth. Default
+	// 0.25 — allocation counts are near-deterministic, so the band is
+	// much tighter than latency.
+	AllocFrac float64
+	// AllocSlack is the absolute allocs/op slack added to the
+	// fractional band, so a 0→1 alloc change on a zero-alloc path
+	// still needs AllocSlack+1 to trip. Default 2.
+	AllocSlack float64
+	// BytesFrac / BytesSlack do the same for bytes/op. Defaults 0.5
+	// and 256.
+	BytesFrac  float64
+	BytesSlack float64
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.LatencyFrac == 0 {
+		t.LatencyFrac = 0.75
+	}
+	if t.IQRMult == 0 {
+		t.IQRMult = 3
+	}
+	if t.AllocFrac == 0 {
+		t.AllocFrac = 0.25
+	}
+	if t.AllocSlack == 0 {
+		t.AllocSlack = 2
+	}
+	if t.BytesFrac == 0 {
+		t.BytesFrac = 0.5
+	}
+	if t.BytesSlack == 0 {
+		t.BytesSlack = 256
+	}
+	return t
+}
+
+// Verdict classifies one benchmark's baseline→current movement.
+type Verdict string
+
+const (
+	// VerdictOK: within the tolerance band (including harmless noise).
+	VerdictOK Verdict = "ok"
+	// VerdictImproved: meaningfully faster than baseline — worth
+	// re-baselining so the win is locked in.
+	VerdictImproved Verdict = "improved"
+	// VerdictRegression: outside the band; the gate fails.
+	VerdictRegression Verdict = "regression"
+	// VerdictNoBaseline: new benchmark, nothing to compare against.
+	VerdictNoBaseline Verdict = "no_baseline"
+	// VerdictMissing: present in the baseline but not in the current
+	// run — a silently dropped benchmark would blind the trajectory,
+	// so this fails the gate too.
+	VerdictMissing Verdict = "missing"
+)
+
+// Delta is one benchmark's comparison outcome. Details carries a
+// human-readable line per checked metric that was notable.
+type Delta struct {
+	Name    string
+	Verdict Verdict
+	Details []string
+}
+
+// Compare diffs current against baseline under tol and reports one
+// Delta per benchmark (baseline order, then new benchmarks). regressed
+// is true when any delta is VerdictRegression or VerdictMissing.
+func Compare(baseline, current Report, tol Tolerance) (deltas []Delta, regressed bool, err error) {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, false, fmt.Errorf("%w: baseline v%d, current v%d",
+			ErrSchemaMismatch, baseline.SchemaVersion, current.SchemaVersion)
+	}
+	tol = tol.withDefaults()
+
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+	seen := make(map[string]bool, len(baseline.Benchmarks))
+	for _, base := range baseline.Benchmarks {
+		seen[base.Name] = true
+		c, ok := cur[base.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: base.Name, Verdict: VerdictMissing,
+				Details: []string{"present in baseline but not measured in this run"}})
+			regressed = true
+			continue
+		}
+		deltas = append(deltas, compareOne(base, c, tol))
+	}
+	for _, c := range current.Benchmarks {
+		if !seen[c.Name] {
+			deltas = append(deltas, Delta{Name: c.Name, Verdict: VerdictNoBaseline,
+				Details: []string{"new benchmark; commit the regenerated baseline to start tracking it"}})
+		}
+	}
+	for _, d := range deltas {
+		if d.Verdict == VerdictRegression {
+			regressed = true
+		}
+	}
+	return deltas, regressed, nil
+}
+
+func compareOne(base, cur Result, tol Tolerance) Delta {
+	d := Delta{Name: base.Name, Verdict: VerdictOK}
+	bad := func(format string, args ...any) {
+		d.Verdict = VerdictRegression
+		d.Details = append(d.Details, fmt.Sprintf(format, args...))
+	}
+
+	// Lower-is-better latency: the limit is the fractional band plus
+	// the baseline's own measured noise, scaled.
+	checkLatency := func(metric string, b, c, bIQR float64) {
+		limit := b*(1+tol.LatencyFrac) + tol.IQRMult*bIQR
+		if c > limit {
+			bad("%s %.0fns > limit %.0fns (baseline %.0fns, IQR %.0fns)", metric, c, limit, b, bIQR)
+		}
+	}
+	checkLatency("p50", base.P50Ns, cur.P50Ns, base.P50IQRNs)
+	checkLatency("p99", base.P99Ns, cur.P99Ns, base.P99IQRNs)
+
+	if limit := base.AllocsPerOp*(1+tol.AllocFrac) + tol.AllocSlack; cur.AllocsPerOp > limit {
+		bad("allocs/op %.2f > limit %.2f (baseline %.2f)", cur.AllocsPerOp, limit, base.AllocsPerOp)
+	}
+	if limit := base.BytesPerOp*(1+tol.BytesFrac) + tol.BytesSlack; cur.BytesPerOp > limit {
+		bad("bytes/op %.0f > limit %.0f (baseline %.0f)", cur.BytesPerOp, limit, base.BytesPerOp)
+	}
+
+	if d.Verdict == VerdictOK && base.P50Ns > 0 && base.P99Ns > 0 &&
+		cur.P50Ns < base.P50Ns*0.9 && cur.P99Ns < base.P99Ns*0.9 {
+		d.Verdict = VerdictImproved
+		d.Details = append(d.Details, fmt.Sprintf("p50 %.0f→%.0fns, p99 %.0f→%.0fns; consider re-baselining",
+			base.P50Ns, cur.P50Ns, base.P99Ns, cur.P99Ns))
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+package benchtrack
+
+import (
+	"errors"
+	"testing"
+)
+
+func baselineReport() Report {
+	return Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     "go1.22",
+		Revision:      "abc123def456",
+		Benchmarks: []Result{
+			{Name: "cached_augment", Reps: 5, OpsPerRep: 1000,
+				P50Ns: 400, P99Ns: 2000, QPS: 2e6, AllocsPerOp: 1, BytesPerOp: 80,
+				P50IQRNs: 20, P99IQRNs: 150},
+			{Name: "ring_owner", Reps: 5, OpsPerRep: 1000,
+				P50Ns: 200, P99Ns: 250, QPS: 4e6, AllocsPerOp: 0, BytesPerOp: 0,
+				P50IQRNs: 10, P99IQRNs: 12},
+		},
+	}
+}
+
+func findDelta(t *testing.T, deltas []Delta, name string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", name, deltas)
+	return Delta{}
+}
+
+// Within-noise movement must not trip the gate: +20% latency is inside
+// the default 75% band, and equal allocs are equal.
+func TestCompareWithinNoise(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.Benchmarks[0].P50Ns = 480  // +20%
+	cur.Benchmarks[0].P99Ns = 2300 // +15%
+	deltas, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("within-noise movement flagged as regression: %+v", deltas)
+	}
+	if d := findDelta(t, deltas, "cached_augment"); d.Verdict != VerdictOK {
+		t.Fatalf("verdict = %s, want ok", d.Verdict)
+	}
+}
+
+// The acceptance case: an injected 2x latency regression must fail the
+// gate under the default tolerance (2x > 1.75x + 3*IQR here).
+func TestCompareInjected2xRegression(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.Benchmarks[0].P50Ns *= 2
+	cur.Benchmarks[0].P99Ns *= 2
+	deltas, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("2x latency regression passed the gate: %+v", deltas)
+	}
+	d := findDelta(t, deltas, "cached_augment")
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("verdict = %s, want regression", d.Verdict)
+	}
+	if len(d.Details) == 0 {
+		t.Fatal("regression delta carries no detail lines")
+	}
+	// The untouched benchmark stays clean.
+	if d := findDelta(t, deltas, "ring_owner"); d.Verdict != VerdictOK {
+		t.Fatalf("ring_owner verdict = %s, want ok", d.Verdict)
+	}
+}
+
+// Allocation growth has its own much tighter band: +5 allocs/op on a
+// 1-alloc path is a regression even though latency is unchanged.
+func TestCompareAllocRegression(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.Benchmarks[0].AllocsPerOp = 6
+	_, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("+5 allocs/op passed the gate")
+	}
+}
+
+// A clear improvement is reported as such, never as a failure.
+func TestCompareImprovement(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.Benchmarks[0].P50Ns = 200  // -50%
+	cur.Benchmarks[0].P99Ns = 1000 // -50%
+	deltas, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("improvement flagged as regression: %+v", deltas)
+	}
+	if d := findDelta(t, deltas, "cached_augment"); d.Verdict != VerdictImproved {
+		t.Fatalf("verdict = %s, want improved", d.Verdict)
+	}
+}
+
+// A benchmark present in the baseline but absent from the run fails
+// the gate (the trajectory would silently go blind); a brand-new
+// benchmark is informational only.
+func TestCompareMissingAndNew(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.Benchmarks = cur.Benchmarks[:1] // drop ring_owner
+	cur.Benchmarks = append(cur.Benchmarks, Result{Name: "brand_new", P50Ns: 1, P99Ns: 2})
+	deltas, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+	if d := findDelta(t, deltas, "ring_owner"); d.Verdict != VerdictMissing {
+		t.Fatalf("dropped benchmark verdict = %s, want missing", d.Verdict)
+	}
+	if d := findDelta(t, deltas, "brand_new"); d.Verdict != VerdictNoBaseline {
+		t.Fatalf("new benchmark verdict = %s, want no_baseline", d.Verdict)
+	}
+}
+
+// Comparing across schema versions is refused with the typed error.
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	cur.SchemaVersion = SchemaVersion + 1
+	_, _, err := Compare(base, cur, Tolerance{})
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// A noisy baseline (large IQR) widens the band: the same absolute
+// movement that trips a quiet benchmark passes a noisy one.
+func TestCompareIQRWidensBand(t *testing.T) {
+	base := baselineReport()
+	cur := baselineReport()
+	// 2x p99 on ring_owner: quiet baseline (IQR 12) → regression.
+	cur.Benchmarks[1].P99Ns = 500
+	_, regressed, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("2x p99 on a quiet baseline passed")
+	}
+	// Same movement with a noisy baseline (IQR 30: limit 250*1.75+90 =
+	// 527.5) → within band.
+	base.Benchmarks[1].P99IQRNs = 30
+	_, regressed, err = Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("noisy-baseline band did not widen")
+	}
+}

@@ -1,0 +1,382 @@
+package benchtrack
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/ring"
+	"repro/internal/serving"
+)
+
+// Suite returns the registered hot-path benchmarks, the measurements
+// BENCH_hotpath.json tracks. Order is stable; names are the comparator
+// keys, so renaming one is a baseline-regeneration event.
+//
+// The micro benchmarks run against a bare serving.Core with a
+// synthetic complement function — building a full pas.System takes
+// seconds of corpus/model fitting and would measure setup, not the hot
+// path. The macro benchmark (loadgen_cluster) runs the real HTTP
+// serving shape: three in-process replicas behind a consistent-hash
+// front, driven by the seeded load generator.
+func Suite() []Benchmark {
+	return []Benchmark{
+		servingKeyBenchmark(),
+		cachedAugmentBenchmark(),
+		singleflightMissBenchmark(),
+		degradedBreakerBenchmark(),
+		ringOwnerBenchmark(),
+		loadgenClusterBenchmark(),
+	}
+}
+
+const benchModel = "pas-bench"
+
+// sink defeats dead-code elimination of pure ops.
+var sink string
+
+func benchCorpus(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("benchtrack prompt %03d: explain consistent hashing to a practitioner", i)
+	}
+	return out
+}
+
+// synthComplement stands in for the PAS model: deterministic, cheap,
+// and shaped like a real complement (prefix + the prompt).
+func synthComplement(prompt, salt string) string {
+	return "Answer precisely and cite assumptions. " + prompt + salt
+}
+
+// servingKeyBenchmark measures serving.Key — computed once per request
+// and once per ring route, the first line of the hot path.
+func servingKeyBenchmark() Benchmark {
+	return Benchmark{
+		Name: "serving_key",
+		Ops:  200_000,
+		Setup: func() (func() error, func(), error) {
+			prompts := benchCorpus(64)
+			i := 0
+			op := func() error {
+				sink = serving.Key(prompts[i%len(prompts)], "tone: concise", benchModel)
+				i++
+				return nil
+			}
+			return op, nil, nil
+		},
+	}
+}
+
+// cachedAugmentBenchmark measures Core.Do on a warm cache — the p50
+// path of production traffic (BENCH_serving.json showed ~89% of a
+// zipfian burst hits it).
+func cachedAugmentBenchmark() Benchmark {
+	return Benchmark{
+		Name: "cached_augment",
+		Ops:  100_000,
+		Setup: func() (func() error, func(), error) {
+			core, err := serving.New(synthComplement, serving.Config{CacheSize: 4096})
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx := context.Background()
+			prompts := benchCorpus(256)
+			for _, p := range prompts {
+				if _, err := core.Do(ctx, p, "", benchModel); err != nil {
+					return nil, nil, fmt.Errorf("warming cache: %w", err)
+				}
+			}
+			i := 0
+			op := func() error {
+				out, err := core.Do(ctx, prompts[i%len(prompts)], "", benchModel)
+				sink = out
+				i++
+				return err
+			}
+			return op, nil, nil
+		},
+	}
+}
+
+// singleflightMissBenchmark measures the uncached leader path: key,
+// single-flight registration, admission, compute. Caching is disabled
+// so every op is a genuine miss.
+func singleflightMissBenchmark() Benchmark {
+	return Benchmark{
+		Name: "singleflight_miss",
+		Ops:  50_000,
+		Setup: func() (func() error, func(), error) {
+			core, err := serving.New(synthComplement, serving.Config{CacheSize: -1})
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx := context.Background()
+			prompts := benchCorpus(64)
+			i := 0
+			op := func() error {
+				out, err := core.Do(ctx, prompts[i%len(prompts)], "", benchModel)
+				sink = out
+				i++
+				return err
+			}
+			return op, nil, nil
+		},
+	}
+}
+
+// degradedBreakerBenchmark measures the fail-fast path: with the
+// breaker open, Do must return ErrBreakerOpen in far less time than a
+// computation — that cheapness is what makes degradation protective
+// rather than decorative. Setup wedges the single compute slot with a
+// blocked computation, then trips the breaker with one shed request.
+func degradedBreakerBenchmark() Benchmark {
+	return Benchmark{
+		Name: "degraded_breaker_open",
+		Ops:  50_000,
+		Setup: func() (func() error, func(), error) {
+			block := make(chan struct{})
+			var started sync.Once
+			startedCh := make(chan struct{})
+			core, err := serving.New(func(prompt, salt string) string {
+				started.Do(func() { close(startedCh) })
+				<-block
+				return "blocked"
+			}, serving.Config{
+				CacheSize:        -1,
+				MaxInFlight:      1,
+				QueueDepth:       0,
+				BreakerThreshold: 1,
+				BreakerCooldown:  time.Hour,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx := context.Background()
+			blockerDone := make(chan struct{})
+			go func() {
+				defer close(blockerDone)
+				_, _ = core.Do(ctx, "blocker", "", benchModel)
+			}()
+			<-startedCh
+			// unblock releases the wedged computation exactly once,
+			// whether setup fails here or cleanup runs after the rep.
+			var unblockOnce sync.Once
+			unblock := func() {
+				unblockOnce.Do(func() {
+					close(block)
+					<-blockerDone
+				})
+			}
+			// The slot is wedged; this request sheds (queue depth 0),
+			// which is the breaker's one allowed failure — it opens.
+			if _, err := core.Do(ctx, "trip", "", benchModel); err != serving.ErrQueueFull {
+				unblock()
+				return nil, nil, fmt.Errorf("tripping breaker: got %v, want ErrQueueFull", err)
+			}
+			prompts := benchCorpus(64)
+			i := 0
+			op := func() error {
+				_, err := core.Do(ctx, prompts[i%len(prompts)], "", benchModel)
+				i++
+				if err != serving.ErrBreakerOpen {
+					return fmt.Errorf("got %v, want ErrBreakerOpen", err)
+				}
+				if !serving.Overloaded(err) {
+					return fmt.Errorf("ErrBreakerOpen not classified Overloaded")
+				}
+				return nil
+			}
+			return op, unblock, nil
+		},
+	}
+}
+
+// ringOwnerBenchmark measures consistent-hash owner selection at the
+// production shape: 8 members × default vnodes, keyed by serving.Key
+// bytes exactly as pasproxy routes.
+func ringOwnerBenchmark() Benchmark {
+	return Benchmark{
+		Name: "ring_owner",
+		Ops:  200_000,
+		Setup: func() (func() error, func(), error) {
+			rg := ring.New(0) // default vnodes
+			for m := 0; m < 8; m++ {
+				rg.Add(fmt.Sprintf("http://replica-%d.pas.internal:8440", m))
+			}
+			prompts := benchCorpus(512)
+			keys := make([]string, len(prompts))
+			for i, p := range prompts {
+				keys[i] = serving.Key(p, "", benchModel)
+			}
+			i := 0
+			op := func() error {
+				owner, ok := rg.Owner(keys[i%len(keys)])
+				if !ok {
+					return fmt.Errorf("empty ring")
+				}
+				sink = owner
+				i++
+				return nil
+			}
+			return op, nil, nil
+		},
+	}
+}
+
+// loadgenClusterBenchmark is the macro measurement: a short seeded
+// loadgen run against three in-process replicas behind a ring-routed
+// front — the whole serving tier including HTTP, JSON, and routing.
+// Latency quantiles come from the loadgen report; allocations are not
+// isolatable across goroutines, so allocs/op stays zero here.
+func loadgenClusterBenchmark() Benchmark {
+	return Benchmark{
+		Name: "loadgen_cluster",
+		RunRep: func() (RepSample, error) {
+			type replica struct {
+				core *serving.Core
+				srv  *httptest.Server
+			}
+			replicas := make([]*replica, 3)
+			urls := make([]string, 3)
+			rg := ring.New(0)
+			for i := range replicas {
+				core, err := serving.New(synthComplement, serving.Config{CacheSize: 4096})
+				if err != nil {
+					return RepSample{}, err
+				}
+				mux := http.NewServeMux()
+				mux.Handle("/v1/augment", augmentHandler(core))
+				mux.Handle("/v1/stats", core.StatsHandler())
+				srv := httptest.NewServer(mux)
+				replicas[i] = &replica{core: core, srv: srv}
+				urls[i] = srv.URL
+				rg.Add(srv.URL)
+			}
+			defer func() {
+				for _, r := range replicas {
+					r.srv.Close()
+				}
+			}()
+
+			client := &http.Client{Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     30 * time.Second,
+			}}
+			defer client.CloseIdleConnections()
+			front := httptest.NewServer(frontHandler(rg, client))
+			defer front.Close()
+
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				Target:      front.URL,
+				Prompts:     benchCorpus(60),
+				Requests:    400,
+				Concurrency: 8,
+				Seed:        7,
+				HTTPClient:  client,
+				Replicas:    urls,
+			})
+			if err != nil {
+				return RepSample{}, err
+			}
+			if rep.Errors > 0 {
+				return RepSample{}, fmt.Errorf("%d/%d requests failed (first: %s)",
+					rep.Errors, rep.Requests, rep.FirstError)
+			}
+			// Sanity: ring locality must hold or the number is measuring
+			// a broken cluster.
+			if rep.ClusterMisses != int64(rep.DistinctKeys) {
+				return RepSample{}, fmt.Errorf("locality broken: %d misses for %d distinct keys",
+					rep.ClusterMisses, rep.DistinctKeys)
+			}
+			return RepSample{
+				P50Ns: rep.LatencyP50Ms * 1e6,
+				P99Ns: rep.LatencyP99Ms * 1e6,
+				QPS:   rep.AchievedQPS,
+				Ops:   rep.Requests,
+			}, nil
+		},
+	}
+}
+
+// augmentHandler is the minimal passerve-shaped augment endpoint over
+// a serving core: the fields loadgen sends and reads, nothing else.
+func augmentHandler(core *serving.Core) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Prompt string `json:"prompt"`
+			Salt   string `json:"salt"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		out, err := core.Do(r.Context(), req.Prompt, req.Salt, benchModel)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if serving.Overloaded(err) {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, `{"error":"serving"}`, status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(map[string]any{
+			"augmented": out, "degraded": false,
+		}); err != nil {
+			return
+		}
+	})
+}
+
+// frontHandler is the minimal pasproxy-shaped router: hash the
+// (prompt, salt, model) key onto the ring, forward the request to the
+// owner replica, relay the response.
+func frontHandler(rg *ring.Ring, client *http.Client) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		var req struct {
+			Prompt string `json:"prompt"`
+			Salt   string `json:"salt"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		owner, ok := rg.Owner(serving.Key(req.Prompt, req.Salt, benchModel))
+		if !ok {
+			http.Error(w, `{"error":"no replicas"}`, http.StatusServiceUnavailable)
+			return
+		}
+		up, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			owner+"/v1/augment", bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, `{"error":"routing"}`, http.StatusInternalServerError)
+			return
+		}
+		up.Header.Set("Content-Type", "application/json; charset=utf-8")
+		resp, err := client.Do(up)
+		if err != nil {
+			http.Error(w, `{"error":"replica unreachable"}`, http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package benchtrack
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestSuiteSmoke runs every registered benchmark at drastically reduced
+// scale: the point is that each one sets up, measures, and tears down
+// cleanly (goroutines joined, servers closed), not the numbers.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke is seconds-scale")
+	}
+	suite := Suite()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d benchmarks, want 6", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{
+		"serving_key", "cached_augment", "singleflight_miss",
+		"degraded_breaker_open", "ring_owner", "loadgen_cluster",
+	} {
+		if !names[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+
+	rep, err := Run(suite, Options{Reps: 1, MaxOps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != len(suite) {
+		t.Fatalf("measured %d of %d benchmarks", len(rep.Benchmarks), len(suite))
+	}
+	for _, r := range rep.Benchmarks {
+		if r.P50Ns <= 0 || r.QPS <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+}
+
+// TestSuiteMicroOnly keeps a fast always-on check over the micro
+// benchmarks (no HTTP servers, sub-second).
+func TestSuiteMicroOnly(t *testing.T) {
+	rep, err := Run(Suite(), Options{
+		Reps:   1,
+		MaxOps: 200,
+		Filter: regexp.MustCompile("serving_key|ring_owner|degraded_breaker_open"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("measured %d, want 3", len(rep.Benchmarks))
+	}
+}

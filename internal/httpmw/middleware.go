@@ -195,10 +195,17 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	}
 }
 
-// Metrics counts requests, errors, and latency by path.
+// Metrics counts requests, errors, and latency by path. After
+// Register, it also feeds a per-path latency histogram whose buckets
+// carry trace-ID exemplars: a slow bucket on /metricsz?exemplars=1
+// names the exact trace to pull up in /debug/traces.
 type Metrics struct {
 	mu    sync.Mutex
 	paths map[string]*pathStats
+
+	// hist is set by Register; zero-valued (and skipped) before then.
+	hist    obs.HistogramVec
+	histSet bool
 }
 
 type pathStats struct {
@@ -213,19 +220,33 @@ func NewMetrics() *Metrics {
 	return &Metrics{paths: make(map[string]*pathStats)}
 }
 
-// Middleware records every request into the registry.
+// Middleware records every request into the registry. When the request
+// context carries a sampled span (Metrics sits inside the Trace
+// middleware in every daemon's chain), the latency observation also
+// attaches that trace id as the histogram bucket's exemplar.
 func (m *Metrics) Middleware() func(http.Handler) http.Handler {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
 			rec := obs.WrapResponseWriter(w)
 			next.ServeHTTP(rec, r)
-			m.observe(r.URL.Path, rec.StatusOr200(), time.Since(start))
+			dur := time.Since(start)
+			hist, ok := m.observe(r.URL.Path, rec.StatusOr200(), dur)
+			if ok {
+				h := hist.With(r.URL.Path)
+				if sc := obs.SpanContextFromContext(r.Context()); sc.Valid() && sc.Sampled {
+					h.ObserveExemplar(dur.Seconds(), sc.TraceID.String())
+				} else {
+					h.Observe(dur.Seconds())
+				}
+			}
 		})
 	}
 }
 
-func (m *Metrics) observe(path string, status int, d time.Duration) {
+// observe updates the per-path stats and returns the latency histogram
+// (set once by Register) so the caller can observe outside the lock.
+func (m *Metrics) observe(path string, status int, d time.Duration) (obs.HistogramVec, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps := m.paths[path]
@@ -239,6 +260,7 @@ func (m *Metrics) observe(path string, status int, d time.Duration) {
 	}
 	ps.Total += d
 	ps.MeanMs = float64(ps.Total.Milliseconds()) / float64(ps.Requests)
+	return m.hist, m.histSet
 }
 
 // Snapshot returns a copy of the per-path stats.
@@ -254,8 +276,15 @@ func (m *Metrics) Snapshot() map[string]pathStats {
 
 // Register exposes the per-path stats on reg under the pas_http_
 // namespace, read at scrape time so the middleware's counters stay the
-// single source of truth.
+// single source of truth. It also registers the
+// pas_http_request_duration_seconds histogram the middleware observes
+// into (with trace-ID exemplars for sampled requests).
 func (m *Metrics) Register(reg *obs.Registry) {
+	m.mu.Lock()
+	m.hist = reg.HistogramVec("pas_http_request_duration_seconds",
+		"HTTP request latency, by path.", obs.DefaultLatencyBuckets, "path")
+	m.histSet = true
+	m.mu.Unlock()
 	reg.RegisterCollector(func(e *obs.Emitter) {
 		m.mu.Lock()
 		defer m.mu.Unlock()

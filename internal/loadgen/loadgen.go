@@ -139,7 +139,18 @@ type ReplicaReport struct {
 }
 
 // Report is the machine-readable run summary.
+// ReportSchemaVersion is stamped into every Report so committed
+// BENCH_*.json files and their consumers (diff tooling, dashboards)
+// can detect shape drift instead of misreading old fields.
+const ReportSchemaVersion = 1
+
 type Report struct {
+	// SchemaVersion is ReportSchemaVersion at generation time;
+	// GeneratedUnix is the wall-clock stamp (seconds) — provenance
+	// only, never compared.
+	SchemaVersion int   `json:"schema_version"`
+	GeneratedUnix int64 `json:"generated_unix"`
+
 	Mode        string  `json:"mode"`
 	Target      string  `json:"target"`
 	Skew        string  `json:"skew"`
@@ -311,6 +322,8 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	after := scrapeReplicas(ctx, cfg.HTTPClient, cfg.Replicas)
 
 	r := Report{
+		SchemaVersion:   ReportSchemaVersion,
+		GeneratedUnix:   time.Now().Unix(),
 		Mode:            cfg.Mode,
 		Target:          cfg.Target,
 		Skew:            cfg.Skew,

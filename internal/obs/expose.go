@@ -12,11 +12,30 @@ import (
 // TextContentType is the Prometheus text exposition content type.
 const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// OpenMetricsContentType is the content type WriteOpenMetrics serves
+// under — the OpenMetrics 1.0 text format, which is where exemplars
+// live (the 0.0.4 format has no syntax for them).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // WriteText renders every family in Prometheus text exposition format:
 // sorted by metric name, HELP and TYPE lines first, samples sorted by
 // label signature, histograms as cumulative _bucket/_sum/_count lines.
 // The output is deterministic for a given registry state.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same exposition in OpenMetrics flavor:
+// histogram bucket lines carry ` # {trace_id="..."} value` exemplar
+// suffixes where one was recorded (via Histogram.ObserveExemplar), and
+// the output ends with the mandatory `# EOF` terminator. Everything
+// else matches WriteText, so the two differ only where exemplars
+// require it.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	var b strings.Builder
 	for _, f := range r.gather() {
 		if len(f.samples) == 0 && len(f.histograms) == 0 {
@@ -51,13 +70,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 		})
 		for _, h := range hists {
 			// Bucket counts are cumulative; the implicit +Inf bucket
-			// equals _count.
+			// equals _count. Exemplar slots are per-bucket
+			// (non-cumulative), so slot i annotates bucket i's line.
 			for i, bound := range h.bounds {
 				b.WriteString(f.name)
 				b.WriteString("_bucket")
 				writeLabels(&b, h.labels, true, bound)
 				b.WriteByte(' ')
 				b.WriteString(strconv.FormatInt(h.buckets[i], 10))
+				if openMetrics {
+					writeExemplar(&b, h.exemplars, i)
+				}
 				b.WriteByte('\n')
 			}
 			b.WriteString(f.name)
@@ -65,6 +88,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			writeLabels(&b, h.labels, true, infBound)
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatInt(h.count, 10))
+			if openMetrics {
+				writeExemplar(&b, h.exemplars, len(h.bounds))
+			}
 			b.WriteByte('\n')
 			b.WriteString(f.name)
 			b.WriteString("_sum")
@@ -80,8 +106,23 @@ func (r *Registry) WriteText(w io.Writer) error {
 			b.WriteByte('\n')
 		}
 	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeExemplar appends an OpenMetrics exemplar suffix
+// (` # {trace_id="..."} value`) for slot i, if one was recorded.
+func writeExemplar(b *strings.Builder, exemplars []exemplar, i int) {
+	if i >= len(exemplars) || exemplars[i].traceID == "" {
+		return
+	}
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabel(exemplars[i].traceID))
+	b.WriteString(`"} `)
+	b.WriteString(formatValue(exemplars[i].value))
 }
 
 // infBound marks the implicit +Inf bucket for writeLabels.
@@ -154,11 +195,22 @@ func (r *Registry) Handler() http.Handler {
 
 // HandlerWithJSON serves text exposition by default and delegates to
 // jsonFallback when the scrape asks for ?format=json — the shape the
-// pre-obs /metricsz served, kept for existing dashboards.
+// pre-obs /metricsz served, kept for existing dashboards. A scrape
+// asking for OpenMetrics (Accept: application/openmetrics-text, or
+// ?exemplars=1 for humans) gets WriteOpenMetrics, which is the only
+// flavor that carries trace-ID exemplars.
 func (r *Registry) HandlerWithJSON(jsonFallback http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if jsonFallback != nil && req.URL.Query().Get("format") == "json" {
 			jsonFallback.ServeHTTP(w, req)
+			return
+		}
+		if req.URL.Query().Get("exemplars") == "1" ||
+			strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			if err := r.WriteOpenMetrics(w); err != nil {
+				log.Printf("obs: writing metrics: %v", err)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", TextContentType)

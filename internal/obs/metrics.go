@@ -52,11 +52,23 @@ type child struct {
 	// counter/gauge value: float64 bits, atomically updated.
 	bits atomic.Uint64
 
-	// histogram state, guarded by mu.
-	mu      sync.Mutex
-	buckets []int64
-	sum     float64
-	count   int64
+	// histogram state, guarded by mu. exemplars holds the most recent
+	// exemplar per bucket (len(bounds)+1, the last slot for +Inf) and
+	// stays nil until the first ObserveExemplar.
+	mu        sync.Mutex
+	buckets   []int64
+	sum       float64
+	count     int64
+	exemplars []exemplar
+}
+
+// exemplar links one observed value to the trace that produced it, in
+// the OpenMetrics sense: the last sampled observation landing in a
+// bucket, exposed so a slow p99 bucket resolves to a span in
+// /debug/traces.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 func (r *Registry) register(name, help, typ string, bounds []float64, labels ...string) *instrument {
@@ -152,6 +164,38 @@ func (h Histogram) Observe(v float64) {
 	}
 	h.c.sum += v
 	h.c.count++
+	h.c.mu.Unlock()
+}
+
+// ObserveExemplar records one value and attaches traceID as the
+// exemplar for the (non-cumulative) bucket the value falls in,
+// replacing that bucket's previous exemplar. An empty traceID degrades
+// to a plain Observe. Exemplars appear only in the OpenMetrics
+// exposition (WriteOpenMetrics); WriteText stays 0.0.4-clean.
+func (h Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	h.c.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.c.buckets[i]++
+		}
+	}
+	h.c.sum += v
+	h.c.count++
+	if h.c.exemplars == nil {
+		h.c.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	slot := len(h.bounds) // +Inf
+	for i, b := range h.bounds {
+		if v <= b {
+			slot = i
+			break
+		}
+	}
+	h.c.exemplars[slot] = exemplar{traceID: traceID, value: v}
 	h.c.mu.Unlock()
 }
 
@@ -324,6 +368,9 @@ func (e *Emitter) gatherInstrument(in *instrument) {
 				sum:     c.sum,
 				count:   c.count,
 			}
+			if c.exemplars != nil {
+				hs.exemplars = append([]exemplar(nil), c.exemplars...)
+			}
 			c.mu.Unlock()
 			f.histograms = append(f.histograms, hs)
 		default:
@@ -339,4 +386,7 @@ type histogramSample struct {
 	buckets []int64
 	sum     float64
 	count   int64
+	// exemplars is nil or len(bounds)+1 (last slot +Inf); zero-value
+	// entries mean "no exemplar for this bucket".
+	exemplars []exemplar
 }

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	rtmetrics "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func scrapeFamilies(t *testing.T, reg *Registry) map[string]Family {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, b.String())
+	}
+	out := make(map[string]Family, len(fams))
+	for _, f := range fams {
+		out[f.Name] = f
+	}
+	return out
+}
+
+func TestRuntimeMetricsCollector(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	fams := scrapeFamilies(t, reg)
+
+	g, ok := fams["pas_runtime_goroutines"]
+	if !ok {
+		t.Fatal("pas_runtime_goroutines missing from exposition")
+	}
+	if g.Type != "gauge" {
+		t.Errorf("pas_runtime_goroutines type = %q, want gauge", g.Type)
+	}
+	if len(g.Samples) != 1 || g.Samples[0].Value < 1 {
+		t.Errorf("pas_runtime_goroutines samples = %+v, want one sample >= 1", g.Samples)
+	}
+
+	h, ok := fams["pas_runtime_heap_bytes"]
+	if !ok {
+		t.Fatal("pas_runtime_heap_bytes missing")
+	}
+	if len(h.Samples) != 1 || h.Samples[0].Value <= 0 {
+		t.Errorf("pas_runtime_heap_bytes = %+v, want one positive sample", h.Samples)
+	}
+
+	for _, name := range []string{"pas_runtime_memory_bytes", "pas_runtime_alloc_bytes_total", "pas_runtime_gc_cycles_total"} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("%s missing from exposition", name)
+		}
+	}
+
+	p, ok := fams["pas_runtime_gc_pause_seconds"]
+	if !ok {
+		t.Fatal("pas_runtime_gc_pause_seconds missing")
+	}
+	quantiles := make(map[string]bool)
+	for _, s := range p.Samples {
+		for _, a := range s.Labels {
+			if a.Key == "quantile" {
+				quantiles[a.Value] = true
+			}
+		}
+		if s.Value < 0 {
+			t.Errorf("gc pause quantile %v negative", s)
+		}
+	}
+	for _, q := range []string{"0.5", "0.9", "0.99"} {
+		if !quantiles[q] {
+			t.Errorf("missing gc pause quantile %q (have %v)", q, quantiles)
+		}
+	}
+}
+
+func TestRuntimeMetricsSecondScrape(t *testing.T) {
+	// Two scrapes must both succeed (the sample slice is reused across
+	// collector invocations) and goroutine counts stay sane.
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	first := scrapeFamilies(t, reg)["pas_runtime_goroutines"]
+	second := scrapeFamilies(t, reg)["pas_runtime_goroutines"]
+	if len(first.Samples) != 1 || len(second.Samples) != 1 {
+		t.Fatalf("expected one goroutine sample per scrape, got %d then %d", len(first.Samples), len(second.Samples))
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	// Buckets: (-inf,1] (1,2] (2,4] (4,+inf); counts per bucket.
+	h := &rtmetrics.Float64Histogram{
+		Counts:  []uint64{0, 90, 9, 1},
+		Buckets: []float64{math.Inf(-1), 1, 2, 4, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := histQuantile(h, 0.99); got != 4 {
+		t.Errorf("p99 = %v, want 4", got)
+	}
+	// The p100 rank lands in the +Inf bucket; the finite lower bound is
+	// reported instead of Inf.
+	if got := histQuantile(h, 1.0); got != 4 {
+		t.Errorf("p100 = %v, want 4 (finite lower bound of +Inf bucket)", got)
+	}
+	empty := &rtmetrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+}
+
+func TestBuildInfoGauges(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "passerve")
+	fams := scrapeFamilies(t, reg)
+
+	bi, ok := fams["pas_build_info"]
+	if !ok {
+		t.Fatal("pas_build_info missing from exposition")
+	}
+	if len(bi.Samples) != 1 {
+		t.Fatalf("pas_build_info samples = %d, want 1", len(bi.Samples))
+	}
+	s := bi.Samples[0]
+	if s.Value != 1 {
+		t.Errorf("pas_build_info value = %v, want 1", s.Value)
+	}
+	labels := make(map[string]string)
+	for _, a := range s.Labels {
+		labels[a.Key] = a.Value
+	}
+	if labels["service"] != "passerve" {
+		t.Errorf("service label = %q, want passerve", labels["service"])
+	}
+	if !strings.HasPrefix(labels["go_version"], "go") {
+		t.Errorf("go_version label = %q, want go* prefix", labels["go_version"])
+	}
+	if labels["revision"] == "" {
+		t.Error("revision label empty; want a commit hash or \"unknown\"")
+	}
+
+	up, ok := fams["pas_process_uptime_seconds"]
+	if !ok {
+		t.Fatal("pas_process_uptime_seconds missing")
+	}
+	if len(up.Samples) != 1 || up.Samples[0].Value < 0 {
+		t.Errorf("pas_process_uptime_seconds = %+v, want one non-negative sample", up.Samples)
+	}
+}

@@ -143,6 +143,12 @@ func parseSampleLine(line string) (Sample, error) {
 		s.Labels = labels
 		rest = rest[end+1:]
 	}
+	// OpenMetrics bucket lines may carry an exemplar suffix after the
+	// value (` # {trace_id="..."} v`); the label block is already
+	// consumed, so the first # from here starts the exemplar — drop it.
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 {
 		return s, fmt.Errorf("sample %q has no value", line)
