@@ -16,6 +16,12 @@
 // Key selection is zipfian by default (-skew uniform for the cold
 // path), seeded by -seed so two runs replay the identical sequence.
 //
+// With -tenants N every request carries a synthetic X-PAS-Tenant label
+// (t0..tN-1) and the report grows per-tenant rows (requests, shed,
+// degraded-by-level, p50/p99). -tenant-skew 10 turns t0 into a noisy
+// neighbor offering 10x each other tenant's load — the fair-share
+// isolation drill from the overload runbook.
+//
 // With -churn the run becomes a rolling-restart chaos drill: while the
 // load replays at the configured rate, every -replicas member is
 // drained in sequence over POST /v1/drain (authenticated by
@@ -63,6 +69,8 @@ func main() {
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf s parameter (>1; larger = hotter head)")
 		seed        = flag.Int64("seed", 1, "key-sampling seed; equal seeds replay equal sequences")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		tenants     = flag.Int("tenants", 0, "label requests with synthetic tenants t0..tN-1 via X-PAS-Tenant and report per-tenant rows (0 = anonymous)")
+		tenantSkew  = flag.Float64("tenant-skew", 1, "tenant t0's traffic weight relative to each other tenant (10 = noisy neighbor)")
 		salt        = flag.String("salt", "", "salt sent with every augmentation")
 		replicas    = flag.String("replicas", "", "comma-separated replica base URLs to scrape /v1/stats hit deltas from")
 		corpusSize  = flag.Int("corpus-size", 500, "synthetic corpus size (ignored with -prompts-file)")
@@ -112,6 +120,8 @@ func main() {
 		Timeout:     *timeout,
 		Salt:        *salt,
 		Replicas:    replicaURLs,
+		Tenants:     *tenants,
+		TenantSkew:  *tenantSkew,
 	}
 
 	var rep loadgen.Report
@@ -176,6 +186,11 @@ func main() {
 	log.Printf("%d requests in %.2fs (%.1f QPS): p50 %.2fms p90 %.2fms p99 %.2fms, %d errors, %d degraded, %d shed",
 		rep.Requests, rep.DurationSeconds, rep.AchievedQPS,
 		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.Errors, rep.Degraded, rep.Shed)
+	for _, row := range rep.Tenants {
+		log.Printf("tenant %-6s %5d requests: %4d shed, %4d trim, %4d raw, p50 %.2fms p99 %.2fms",
+			row.Tenant, row.Requests, row.Shed, row.DegradedTrim, row.DegradedRaw,
+			row.LatencyP50Ms, row.LatencyP99Ms)
+	}
 	if rep.ClusterHits+rep.ClusterMisses > 0 {
 		log.Printf("cluster cache: %d hits / %d misses (ratio %.3f)",
 			rep.ClusterHits, rep.ClusterMisses, rep.ClusterHitRatio)

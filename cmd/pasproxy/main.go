@@ -43,10 +43,12 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,7 +70,15 @@ func main() {
 		addr        = flag.String("addr", ":8424", "listen address")
 		cacheSize   = flag.Int("cache-size", 4096, "complement result cache entries (negative disables)")
 		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry; sound for a fixed model)")
-		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations (the adaptive limiter's ceiling with -adaptive-limit)")
+		adaptive    = flag.Bool("adaptive-limit", false, "replace the static in-flight cap with an AIMD limiter (-max-inflight becomes the ceiling); single-node mode only")
+		limitFloor  = flag.Int("limit-floor", 1, "adaptive limiter's lower clamp")
+		limitTarget = flag.Duration("limit-target", 0, "computation latency below which the adaptive limit grows (0 = any success grows it)")
+		brownout    = flag.Bool("brownout", false, "arm the degradation ladder (cheap complement, then raw passthrough, before shedding); single-node mode only")
+		tenantW     = flag.String("tenant-weights", "", "fair-share weights as tenant=w,tenant=w; single-node mode only")
+		tenantDefW  = flag.Int("default-tenant-weight", 1, "fair-share weight of unlisted tenants")
+		tenantQuota = flag.String("tenant-quotas", "", "per-tenant concurrent-computation caps as tenant=n,tenant=n; single-node mode only")
+		maxTenants  = flag.Int("max-tenants", 0, "bound on tracked tenants; ids beyond it pool into an overflow tenant (0 = default)")
 		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
 		retries     = flag.Int("retries", 1, "re-attempts for a shed complement computation (0 disables)")
@@ -158,17 +168,33 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v (train one with pastrain)", err)
 		}
+		weights, err := parseTenantMap(*tenantW)
+		if err != nil {
+			log.Fatalf("-tenant-weights: %v", err)
+		}
+		quotas, err := parseTenantMap(*tenantQuota)
+		if err != nil {
+			log.Fatalf("-tenant-quotas: %v", err)
+		}
 		if err := sys.EnableServing(pas.ServingConfig{
-			CacheSize:        *cacheSize,
-			CacheTTL:         *cacheTTL,
-			MaxInFlight:      *maxInflight,
-			QueueDepth:       *queueDepth,
-			QueueWait:        *queueWait,
-			Retries:          *retries,
-			RetryBudget:      *retryBudget,
-			BreakerThreshold: *breaker,
-			BreakerCooldown:  *cooldown,
-			Degrade:          *degrade,
+			CacheSize:           *cacheSize,
+			CacheTTL:            *cacheTTL,
+			MaxInFlight:         *maxInflight,
+			QueueDepth:          *queueDepth,
+			QueueWait:           *queueWait,
+			Retries:             *retries,
+			RetryBudget:         *retryBudget,
+			BreakerThreshold:    *breaker,
+			BreakerCooldown:     *cooldown,
+			Degrade:             *degrade,
+			AdaptiveLimit:       *adaptive,
+			LimitFloor:          *limitFloor,
+			LimitTarget:         *limitTarget,
+			Brownout:            *brownout,
+			TenantWeights:       weights,
+			DefaultTenantWeight: *tenantDefW,
+			TenantQuotas:        quotas,
+			MaxTenants:          *maxTenants,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -186,6 +212,10 @@ func main() {
 		httpmw.RequestID(),
 		httpmw.Trace(tracer, "pasproxy"),
 		httpmw.Logging(logger),
+		// Tags the request context with the caller's tenant so the
+		// single-node serving core admits it through the fair-share
+		// queue (and access logs carry the label in both modes).
+		httpmw.Tenant(),
 		metrics.Middleware(),
 	))
 	// Served locally, not proxied: the unified metrics (Prometheus text;
@@ -221,4 +251,28 @@ func main() {
 		}
 		log.Printf("shut down cleanly")
 	}
+}
+
+// parseTenantMap parses "tenant=n,tenant=n" flag values.
+func parseTenantMap(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not tenant=value", pair)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q: value must be a positive integer", pair)
+		}
+		out[strings.TrimSpace(name)] = n
+	}
+	return out, nil
 }

@@ -23,6 +23,18 @@
 // prompt — flagged X-PAS-Degraded and counted in /v1/stats — instead
 // of a 503.
 //
+// Overload robustness is opt-in per knob. -adaptive-limit turns the
+// static in-flight cap into an AIMD limiter that backs off when the
+// queue sheds and regrows on healthy completions, with -max-inflight
+// as its hard ceiling. -brownout arms the degradation ladder: under
+// sustained queue pressure the replica first serves a cheap complement
+// (X-PAS-Degraded: trim), then the raw prompt (X-PAS-Degraded: 1),
+// before hard-shedding — and /v1/status advertises the pressure rung
+// so routing tiers deprioritize the replica. Requests carrying an
+// X-PAS-Tenant header (or an API key, fingerprinted) are admitted by a
+// weighted fair-share queue (-tenant-weights, -tenant-quotas,
+// -max-tenants), so one flooding tenant cannot starve the rest.
+//
 // Shutdown is graceful and router-aware. POST /v1/drain (guarded by
 // -admin-token when set) or SIGINT/SIGTERM first flips /v1/status to
 // "draining" and sheds new complement computations with 503 +
@@ -35,10 +47,13 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,7 +74,17 @@ func main() {
 		concurrency = flag.Int("concurrency", 256, "hard cap on in-flight HTTP requests (outer backstop)")
 		cacheSize   = flag.Int("cache-size", 4096, "complement result cache entries (negative disables)")
 		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry; sound for a fixed model)")
-		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrent complement computations (the adaptive limiter's ceiling with -adaptive-limit)")
+		adaptive    = flag.Bool("adaptive-limit", false, "replace the static in-flight cap with an AIMD limiter that backs off on shed/deadline signals (-max-inflight becomes the ceiling)")
+		limitFloor  = flag.Int("limit-floor", 1, "adaptive limiter's lower clamp")
+		limitTarget = flag.Duration("limit-target", 0, "computation latency below which the adaptive limit grows (0 = any success grows it)")
+		brownout    = flag.Bool("brownout", false, "arm the degradation ladder: serve cheap-complement then raw-passthrough under pressure before hard shedding")
+		tenantW     = flag.String("tenant-weights", "", "fair-share weights as tenant=w,tenant=w (unlisted tenants get -default-tenant-weight)")
+		tenantDefW  = flag.Int("default-tenant-weight", 1, "fair-share weight of unlisted tenants")
+		tenantQuota = flag.String("tenant-quotas", "", "per-tenant concurrent-computation caps as tenant=n,tenant=n")
+		tenantDepth = flag.Int("tenant-queue-depth", 0, "per-tenant share of the waiting room (0 = weighted split of -queue-depth)")
+		maxTenants  = flag.Int("max-tenants", 0, "bound on tracked tenants; ids beyond it pool into an overflow tenant (0 = default)")
+		computeHold = flag.Duration("compute-delay", 0, "pad every complement computation (overload-drill knob; leave 0 in production)")
 		queueDepth  = flag.Int("queue-depth", 256, "max requests waiting for a computation slot (0 = shed instantly)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 503")
 		retries     = flag.Int("retries", 1, "re-attempts for a shed complement computation (0 disables)")
@@ -96,17 +121,35 @@ func main() {
 		}
 	}
 
+	weights, err := parseTenantMap(*tenantW)
+	if err != nil {
+		log.Fatalf("-tenant-weights: %v", err)
+	}
+	quotas, err := parseTenantMap(*tenantQuota)
+	if err != nil {
+		log.Fatalf("-tenant-quotas: %v", err)
+	}
 	if err := sys.EnableServing(pas.ServingConfig{
-		CacheSize:        *cacheSize,
-		CacheTTL:         *cacheTTL,
-		MaxInFlight:      *maxInflight,
-		QueueDepth:       *queueDepth,
-		QueueWait:        *queueWait,
-		Retries:          *retries,
-		RetryBudget:      *retryBudget,
-		BreakerThreshold: *breaker,
-		BreakerCooldown:  *cooldown,
-		Degrade:          *degrade,
+		CacheSize:           *cacheSize,
+		CacheTTL:            *cacheTTL,
+		MaxInFlight:         *maxInflight,
+		QueueDepth:          *queueDepth,
+		QueueWait:           *queueWait,
+		Retries:             *retries,
+		RetryBudget:         *retryBudget,
+		BreakerThreshold:    *breaker,
+		BreakerCooldown:     *cooldown,
+		Degrade:             *degrade,
+		AdaptiveLimit:       *adaptive,
+		LimitFloor:          *limitFloor,
+		LimitTarget:         *limitTarget,
+		Brownout:            *brownout,
+		TenantWeights:       weights,
+		DefaultTenantWeight: *tenantDefW,
+		TenantQuotas:        quotas,
+		TenantQueueDepth:    *tenantDepth,
+		MaxTenants:          *maxTenants,
+		ComputeDelay:        *computeHold,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -132,7 +175,10 @@ func main() {
 		httpmw.RequestID(),
 		httpmw.Trace(tracer, "passerve"),
 		httpmw.Logging(logger),
-		httpmw.ConcurrencyLimit(*concurrency),
+		// The outer backstop prices its Retry-After from the core's
+		// queue-drain estimate, like the core's own sheds.
+		httpmw.ConcurrencyLimitHint(*concurrency, sys.RetryAfterHint),
+		httpmw.Tenant(),
 		metrics.Middleware(),
 	))
 	mux.Handle("/metricsz", reg.HandlerWithJSON(metrics.Handler()))
@@ -183,4 +229,28 @@ func main() {
 		log.Fatalf("shutdown: %v", err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// parseTenantMap parses "tenant=n,tenant=n" flag values.
+func parseTenantMap(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not tenant=value", pair)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q: value must be a positive integer", pair)
+		}
+		out[strings.TrimSpace(name)] = n
+	}
+	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpmw"
 	"repro/internal/loadgen"
 	"repro/internal/ring"
 	"repro/internal/serving"
@@ -31,6 +32,7 @@ func Suite() []Benchmark {
 		servingKeyBenchmark(),
 		cachedAugmentBenchmark(),
 		singleflightMissBenchmark(),
+		admissionFastPathBenchmark(),
 		degradedBreakerBenchmark(),
 		ringOwnerBenchmark(),
 		loadgenClusterBenchmark(),
@@ -122,6 +124,53 @@ func singleflightMissBenchmark() Benchmark {
 			prompts := benchCorpus(64)
 			i := 0
 			op := func() error {
+				out, err := core.Do(ctx, prompts[i%len(prompts)], "", benchModel)
+				sink = out
+				i++
+				return err
+			}
+			return op, nil, nil
+		},
+	}
+}
+
+// admissionFastPathBenchmark measures the tenant-aware admission fast
+// path end to end: header parse (httpmw.TenantFromRequest), context
+// tagging, and an uncontended Do through the fair-share queue. This is
+// the per-request overhead the tenant machinery adds when the system is
+// NOT overloaded — the price every request pays for isolation.
+func admissionFastPathBenchmark() Benchmark {
+	return Benchmark{
+		Name: "admission_fast_path",
+		Ops:  100_000,
+		Setup: func() (func() error, func(), error) {
+			core, err := serving.New(synthComplement, serving.Config{
+				CacheSize:     -1,
+				MaxInFlight:   16,
+				QueueDepth:    64,
+				TenantWeights: map[string]int{"t0": 4, "t1": 2},
+				MaxTenants:    8,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			base := context.Background()
+			prompts := benchCorpus(64)
+			// Pre-built requests with the three identity shapes the parser
+			// handles: an explicit tenant, an API key, and anonymous.
+			reqs := make([]*http.Request, 3)
+			for j := range reqs {
+				reqs[j] = httptest.NewRequest(http.MethodPost, "/v1/augment", nil)
+			}
+			reqs[0].Header.Set("X-PAS-Tenant", "t0")
+			reqs[1].Header.Set("X-API-Key", "sk-bench-secret-1")
+			i := 0
+			op := func() error {
+				tenant := httpmw.TenantFromRequest(reqs[i%len(reqs)])
+				ctx := base
+				if tenant != "" {
+					ctx = serving.WithTenant(base, tenant)
+				}
 				out, err := core.Do(ctx, prompts[i%len(prompts)], "", benchModel)
 				sink = out
 				i++

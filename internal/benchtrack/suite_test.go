@@ -13,8 +13,8 @@ func TestSuiteSmoke(t *testing.T) {
 		t.Skip("suite smoke is seconds-scale")
 	}
 	suite := Suite()
-	if len(suite) != 6 {
-		t.Fatalf("suite has %d benchmarks, want 6", len(suite))
+	if len(suite) != 7 {
+		t.Fatalf("suite has %d benchmarks, want 7", len(suite))
 	}
 	names := map[string]bool{}
 	for _, b := range suite {
@@ -25,7 +25,8 @@ func TestSuiteSmoke(t *testing.T) {
 	}
 	for _, want := range []string{
 		"serving_key", "cached_augment", "singleflight_miss",
-		"degraded_breaker_open", "ring_owner", "loadgen_cluster",
+		"admission_fast_path", "degraded_breaker_open", "ring_owner",
+		"loadgen_cluster",
 	} {
 		if !names[want] {
 			t.Errorf("suite missing %q", want)

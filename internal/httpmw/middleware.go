@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,7 +97,10 @@ func Trace(tracer *obs.Tracer, service string) func(http.Handler) http.Handler {
 
 			status := rec.StatusOr200()
 			span.SetAttrInt("http.status", int64(status))
-			if rec.Header().Get(degradedHeader) == "1" {
+			// Any non-empty value is a degraded response: "1" is the
+			// raw-passthrough legacy flag, "trim" the brownout ladder's
+			// cheap-complement rung.
+			if rec.Header().Get(degradedHeader) != "" {
 				span.SetStatus("degraded")
 			}
 			if status >= 500 {
@@ -119,6 +123,8 @@ type accessLine struct {
 	DurMs     float64 `json:"dur_ms"`
 	Shed      bool    `json:"shed,omitempty"`
 	Degraded  bool    `json:"degraded,omitempty"`
+	Degrade   string  `json:"degrade_level,omitempty"` // "trim" or "1" (raw)
+	Tenant    string  `json:"tenant,omitempty"`
 }
 
 // Logging writes one JSON access-log line per request: request id,
@@ -134,6 +140,7 @@ func Logging(logger *log.Logger) func(http.Handler) http.Handler {
 				return
 			}
 			status := rec.StatusOr200()
+			level := rec.Header().Get(degradedHeader)
 			line := accessLine{
 				RequestID: r.Header.Get(requestIDHeader),
 				Method:    r.Method,
@@ -142,7 +149,9 @@ func Logging(logger *log.Logger) func(http.Handler) http.Handler {
 				Bytes:     rec.BytesWritten(),
 				DurMs:     float64(time.Since(start).Microseconds()) / 1000,
 				Shed:      status == http.StatusServiceUnavailable,
-				Degraded:  rec.Header().Get(degradedHeader) == "1",
+				Degraded:  level != "",
+				Degrade:   level,
+				Tenant:    TenantFromRequest(r),
 			}
 			if sc := obs.SpanContextFromContext(r.Context()); sc.Valid() {
 				line.TraceID = sc.TraceID.String()
@@ -163,6 +172,14 @@ func Logging(logger *log.Logger) func(http.Handler) http.Handler {
 // its slot without running the handler, so a burst of abandoned
 // requests cannot hold capacity hostage.
 func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
+	return ConcurrencyLimitHint(n, nil)
+}
+
+// ConcurrencyLimitHint is ConcurrencyLimit with a dynamic Retry-After:
+// each shed response prices its hint from retryAfter() — typically the
+// serving core's queue-drain EWMA — instead of the fixed 1s. A nil
+// retryAfter keeps the constant.
+func ConcurrencyLimitHint(n int, retryAfter func() int) func(http.Handler) http.Handler {
 	if n < 1 {
 		n = 1
 	}
@@ -177,7 +194,13 @@ func ConcurrencyLimit(n int) func(http.Handler) http.Handler {
 				}
 				next.ServeHTTP(w, r)
 			default:
-				w.Header().Set("Retry-After", "1")
+				hint := 1
+				if retryAfter != nil {
+					if h := retryAfter(); h > 0 {
+						hint = h
+					}
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(hint))
 				obs.AddEvent(r.Context(), "limiter.shed")
 				writeJSONError(w, http.StatusServiceUnavailable, "server overloaded")
 			}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,6 +63,17 @@ type Config struct {
 	ZipfS float64
 	// Seed drives key sampling; equal seeds replay equal sequences.
 	Seed int64
+	// Tenants, when positive, labels every request with a synthetic
+	// tenant ("t0".."tN-1") via X-PAS-Tenant and adds per-tenant rows to
+	// the report. Zero keeps requests anonymous — and keeps the sampled
+	// key sequence byte-identical to pre-tenant runs, because the tenant
+	// draw only happens when Tenants > 0.
+	Tenants int
+	// TenantSkew is tenant t0's traffic weight relative to each other
+	// tenant (default 1 = uniform). 10 with Tenants=5 makes t0 a noisy
+	// neighbor carrying ~71% of the offered load — the fair-share
+	// isolation scenario.
+	TenantSkew float64
 	// Timeout bounds one request. Default 10s.
 	Timeout time.Duration
 	// Salt is sent with every augmentation.
@@ -110,6 +122,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ZipfS <= 1 {
 		c.ZipfS = 1.2
+	}
+	if c.Tenants < 0 {
+		return c, fmt.Errorf("loadgen: negative tenant count %d", c.Tenants)
+	}
+	if c.TenantSkew <= 0 {
+		c.TenantSkew = 1
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
@@ -160,7 +178,12 @@ type Report struct {
 
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"`
-	Degraded int `json:"degraded"`
+	// Degraded counts every served request below full quality;
+	// DegradedTrim and DegradedRaw split it by brownout rung (the
+	// X-PAS-Degraded wire values "trim" and "1" respectively).
+	Degraded     int `json:"degraded"`
+	DegradedTrim int `json:"degraded_trim,omitempty"`
+	DegradedRaw  int `json:"degraded_raw,omitempty"`
 	// Shed counts requests the serving side refused with 503 — load
 	// shedding or a draining replica. They are availability events, not
 	// failures: the server answered deliberately, with Retry-After.
@@ -182,12 +205,44 @@ type Report struct {
 	ClusterMisses   int64           `json:"cluster_misses,omitempty"`
 	ClusterHitRatio float64         `json:"cluster_hit_ratio,omitempty"`
 
+	// Tenants are the per-tenant rows, sorted by tenant name; present
+	// only when Config.Tenants was positive. TenantSkew echoes the
+	// configured skew so a committed report is self-describing.
+	Tenants    []TenantReport `json:"tenants,omitempty"`
+	TenantSkew float64        `json:"tenant_skew,omitempty"`
+
 	// FirstError is a sample failure message for quick triage.
 	FirstError string `json:"first_error,omitempty"`
 
 	// Churn is present when the run was driven by RunWithChurn: the
 	// rolling-restart timeline and the hit-ratio recovery evidence.
 	Churn *ChurnReport `json:"churn,omitempty"`
+}
+
+// TenantReport is one tenant's slice of the run: how much it offered,
+// how much was refused, and what quality the served share came back at.
+// The isolation check reads straight off two of these rows — a flooded
+// run's well-behaved tenant against its solo baseline.
+type TenantReport struct {
+	Tenant   string `json:"tenant"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors,omitempty"`
+	Shed     int    `json:"shed"`
+	// Degraded splits by brownout rung, as in the top-level report.
+	DegradedTrim int `json:"degraded_trim"`
+	DegradedRaw  int `json:"degraded_raw"`
+
+	// Latency quantiles cover served requests only (refusals are fast
+	// by design and would flatter the numbers).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// tenantAgg accumulates one tenant's counters during the run.
+type tenantAgg struct {
+	requests, errors, shed int
+	trim, raw              int
+	latencies              []float64
 }
 
 // Run replays the corpus and returns the report. It stops at the
@@ -215,8 +270,34 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		}
 		return rng.Intn(len(cfg.Prompts))
 	}
+	// The tenant draw happens strictly after the key draw and only when
+	// tenants are enabled, so a tenant-free run consumes the exact RNG
+	// sequence older runs did — committed BENCH files stay replayable.
+	// t0 carries TenantSkew× the weight of each other tenant.
+	sampleTenant := func() string {
+		if cfg.Tenants <= 0 {
+			return ""
+		}
+		if cfg.Tenants == 1 {
+			return "t0"
+		}
+		total := cfg.TenantSkew + float64(cfg.Tenants-1)
+		draw := rng.Float64() * total
+		if draw < cfg.TenantSkew {
+			return "t0"
+		}
+		i := 1 + int(draw-cfg.TenantSkew)
+		if i >= cfg.Tenants { // guard the draw == total edge
+			i = cfg.Tenants - 1
+		}
+		return fmt.Sprintf("t%d", i)
+	}
 
-	idxCh := make(chan int)
+	type job struct {
+		idx    int
+		tenant string
+	}
+	idxCh := make(chan job)
 	// Distinct is keyed by prompt text, not index: the corpus can carry
 	// duplicate texts, and identical text means one cache key cluster-wide.
 	distinct := make(map[string]struct{})
@@ -266,7 +347,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			idx := sample()
 			distinct[cfg.Prompts[idx]] = struct{}{}
 			select {
-			case idxCh <- idx:
+			case idxCh <- job{idx: idx, tenant: sampleTenant()}:
 			case <-cfg.Stop:
 				return
 			case <-ctx.Done():
@@ -280,36 +361,68 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		latencies  []float64
 		requests   int
 		errCount   int
-		degCount   int
+		trimCount  int
+		rawCount   int
 		shedCount  int
 		firstError string
+		tenants    map[string]*tenantAgg
 	)
+	if cfg.Tenants > 0 {
+		tenants = make(map[string]*tenantAgg, cfg.Tenants)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range idxCh {
+			for j := range idxCh {
 				t0 := time.Now()
-				deg, shed, err := doOne(ctx, cfg, cfg.Prompts[idx])
+				level, shed, err := doOne(ctx, cfg, cfg.Prompts[j.idx], j.tenant)
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				requests++
+				var agg *tenantAgg
+				if tenants != nil {
+					if agg = tenants[j.tenant]; agg == nil {
+						agg = &tenantAgg{}
+						tenants[j.tenant] = agg
+					}
+					agg.requests++
+				}
 				switch {
 				case err != nil:
 					errCount++
 					if firstError == "" {
 						firstError = err.Error()
 					}
+					if agg != nil {
+						agg.errors++
+					}
 				case shed:
 					// A deliberate 503 refusal: counted on its own, and
 					// kept out of the latency window — a fast refusal is
 					// not a served request.
 					shedCount++
+					if agg != nil {
+						agg.shed++
+					}
 				default:
 					latencies = append(latencies, ms)
-					if deg {
-						degCount++
+					switch level {
+					case "":
+					case "trim":
+						trimCount++
+						if agg != nil {
+							agg.trim++
+						}
+					default: // "1" and any future raw-equivalent rung
+						rawCount++
+						if agg != nil {
+							agg.raw++
+						}
+					}
+					if agg != nil {
+						agg.latencies = append(agg.latencies, ms)
 					}
 				}
 				mu.Unlock()
@@ -332,11 +445,34 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		Seed:            cfg.Seed,
 		Requests:        requests,
 		Errors:          errCount,
-		Degraded:        degCount,
+		Degraded:        trimCount + rawCount,
+		DegradedTrim:    trimCount,
+		DegradedRaw:     rawCount,
 		Shed:            shedCount,
 		DistinctKeys:    len(distinct),
 		DurationSeconds: elapsed.Seconds(),
 		FirstError:      firstError,
+	}
+	if tenants != nil {
+		r.TenantSkew = cfg.TenantSkew
+		names := make([]string, 0, len(tenants))
+		for name := range tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			agg := tenants[name]
+			r.Tenants = append(r.Tenants, TenantReport{
+				Tenant:       name,
+				Requests:     agg.requests,
+				Errors:       agg.errors,
+				Shed:         agg.shed,
+				DegradedTrim: agg.trim,
+				DegradedRaw:  agg.raw,
+				LatencyP50Ms: quantileOrZero(agg.latencies, 0.50),
+				LatencyP99Ms: quantileOrZero(agg.latencies, 0.99),
+			})
+		}
 	}
 	if elapsed > 0 {
 		r.AchievedQPS = float64(requests) / elapsed.Seconds()
@@ -375,9 +511,11 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	return r, nil
 }
 
-// doOne issues one request and reports whether the serving side flagged
-// it degraded or shed it with a deliberate 503.
-func doOne(ctx context.Context, cfg Config, prompt string) (degraded, shed bool, err error) {
+// doOne issues one request and reports the degradation level the
+// serving side flagged it with ("" full quality, "trim" the brownout
+// cheap complement, "1" raw passthrough) and whether it was shed with a
+// deliberate 503.
+func doOne(ctx context.Context, cfg Config, prompt, tenant string) (level string, shed bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 
@@ -398,44 +536,55 @@ func doOne(ctx context.Context, cfg Config, prompt string) (degraded, shed bool,
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return false, false, fmt.Errorf("loadgen: encoding request: %w", err)
+		return "", false, fmt.Errorf("loadgen: encoding request: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+path, bytes.NewReader(body))
 	if err != nil {
-		return false, false, fmt.Errorf("loadgen: building request: %w", err)
+		return "", false, fmt.Errorf("loadgen: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	if tenant != "" {
+		req.Header.Set("X-PAS-Tenant", tenant)
+	}
 	resp, err := cfg.HTTPClient.Do(req)
 	if err != nil {
-		return false, false, fmt.Errorf("loadgen: %s: %w", path, err)
+		return "", false, fmt.Errorf("loadgen: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	degraded = resp.Header.Get("X-PAS-Degraded") == "1"
+	level = resp.Header.Get("X-PAS-Degraded")
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		// The serving side shed the request on purpose (overload or a
 		// draining replica). Drain the body; this is not an error.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return degraded, true, nil
+		return level, true, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a bounded slice for the error message.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return degraded, false, fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+		return level, false, fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	if cfg.Mode == ModeAugment {
 		var wire struct {
-			Degraded bool `json:"degraded"`
+			Degraded      bool   `json:"degraded"`
+			DegradedLevel string `json:"degraded_level"`
 		}
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&wire); err != nil {
-			return degraded, false, fmt.Errorf("loadgen: decoding augment response: %w", err)
+			return level, false, fmt.Errorf("loadgen: decoding augment response: %w", err)
 		}
-		degraded = degraded || wire.Degraded
-		return degraded, false, nil
+		// The header is authoritative; fall back to the body for servers
+		// that only speak the boolean contract.
+		if level == "" && wire.DegradedLevel != "" {
+			level = wire.DegradedLevel
+		}
+		if level == "" && wire.Degraded {
+			level = "1"
+		}
+		return level, false, nil
 	}
 	// Chat mode: the completion body is upstream's business; drain it so
 	// the connection is reusable.
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<20))
-	return degraded, false, nil
+	return level, false, nil
 }
 
 // replicaCache is one scrape of a replica's cache counters.

@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limit is an AIMD (additive-increase, multiplicative-decrease)
+// concurrency limit: the adaptive replacement for a static in-flight
+// cap. The admission layer asks Current() for the live limit, feeds
+// every successful computation's latency into OnSuccess, and reports
+// deadline misses and breaker trips through OnOverload.
+//
+// The dynamics are the classic congestion-control shape:
+//
+//   - additive increase — after Current() consecutive successes whose
+//     latency stayed under Target (one "round trip" at the present
+//     limit), the limit grows by one, up to Ceiling. Growth is paced by
+//     the limit itself, so a core at limit 40 probes for headroom ten
+//     times slower than one at limit 4 — exactly the caution a bigger
+//     window warrants.
+//   - multiplicative decrease — an overload signal cuts the limit to
+//     limit×Backoff (rounded down, floored at Floor), at most once per
+//     Cooldown window so one burst of deadline misses counts as one
+//     congestion event rather than one cut per shed request.
+//   - a slow success (latency ≥ Target) is not an overload, but it
+//     resets the success run: the limit holds rather than grows.
+//
+// All state transitions are driven by the injected clock, so tests pin
+// Now and replay schedules deterministically. Safe for concurrent use.
+type Limit struct {
+	cfg LimitConfig
+
+	mu        sync.Mutex
+	current   int
+	successes int       // consecutive sub-target successes at this limit
+	lastCut   time.Time // zero until the first multiplicative decrease
+	raises    int64
+	cuts      int64
+}
+
+// LimitConfig sizes an adaptive limit. Zero values select defaults.
+type LimitConfig struct {
+	// Floor is the lowest the limit may fall; the core must always be
+	// able to make some progress or it can never observe recovery.
+	// Default 1.
+	Floor int
+	// Ceiling is the highest the limit may climb — the old static
+	// MaxInFlight, now an upper bound instead of the operating point.
+	// Required (> 0).
+	Ceiling int
+	// Initial is the starting limit. Default Ceiling (an unloaded core
+	// behaves exactly like the static cap until pressure teaches it
+	// otherwise).
+	Initial int
+	// Target is the latency budget a computation should meet; successes
+	// under it vote for growth, successes over it hold the line.
+	// Default 50ms.
+	Target time.Duration
+	// Backoff is the multiplicative-decrease factor in (0, 1).
+	// Default 0.5.
+	Backoff float64
+	// Cooldown is the refractory window after a cut during which
+	// further overload signals are coalesced into the same congestion
+	// event. Default 1s.
+	Cooldown time.Duration
+	// Now injects the clock; tests pin it. Default time.Now.
+	Now func() time.Time
+}
+
+func (cfg LimitConfig) withDefaults() (LimitConfig, error) {
+	if cfg.Ceiling <= 0 {
+		return cfg, fmt.Errorf("resilience: limit Ceiling must be > 0, got %d", cfg.Ceiling)
+	}
+	if cfg.Floor == 0 {
+		cfg.Floor = 1
+	}
+	if cfg.Floor < 0 || cfg.Floor > cfg.Ceiling {
+		return cfg, fmt.Errorf("resilience: limit Floor must be in [1, Ceiling=%d], got %d", cfg.Ceiling, cfg.Floor)
+	}
+	if cfg.Initial == 0 {
+		cfg.Initial = cfg.Ceiling
+	}
+	if cfg.Initial < cfg.Floor || cfg.Initial > cfg.Ceiling {
+		return cfg, fmt.Errorf("resilience: limit Initial must be in [Floor=%d, Ceiling=%d], got %d", cfg.Floor, cfg.Ceiling, cfg.Initial)
+	}
+	if cfg.Target == 0 {
+		cfg.Target = 50 * time.Millisecond
+	}
+	if cfg.Target < 0 {
+		return cfg, fmt.Errorf("resilience: limit Target must be > 0, got %v", cfg.Target)
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 0.5
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		return cfg, fmt.Errorf("resilience: limit Backoff must be in (0, 1), got %g", cfg.Backoff)
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Cooldown < 0 {
+		return cfg, fmt.Errorf("resilience: limit Cooldown must be > 0, got %v", cfg.Cooldown)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg, nil
+}
+
+// NewLimit builds an adaptive concurrency limit.
+func NewLimit(cfg LimitConfig) (*Limit, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Limit{cfg: cfg, current: cfg.Initial}, nil
+}
+
+// Current returns the live concurrency limit, always within
+// [Floor, Ceiling].
+func (l *Limit) Current() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.current
+}
+
+// OnSuccess records one successful computation and its latency. A
+// sub-target latency extends the success run; Current() of them in a
+// row raise the limit by one (additive increase, clamped at Ceiling).
+// An over-target latency resets the run so the limit holds.
+func (l *Limit) OnSuccess(latency time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if latency >= l.cfg.Target {
+		l.successes = 0
+		return
+	}
+	l.successes++
+	if l.successes < l.current {
+		return
+	}
+	l.successes = 0
+	if l.current < l.cfg.Ceiling {
+		l.current++
+		l.raises++
+	}
+}
+
+// OnOverload records an overload signal — a deadline miss while queued
+// or a breaker trip — and applies the multiplicative decrease, unless a
+// cut already happened within the Cooldown window (a burst of sheds is
+// one congestion event).
+func (l *Limit) OnOverload() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	if !l.lastCut.IsZero() && now.Sub(l.lastCut) < l.cfg.Cooldown {
+		return
+	}
+	l.lastCut = now
+	l.successes = 0
+	next := int(float64(l.current) * l.cfg.Backoff)
+	if next < l.cfg.Floor {
+		next = l.cfg.Floor
+	}
+	if next != l.current {
+		l.current = next
+		l.cuts++
+	}
+}
+
+// LimitStats is a point-in-time snapshot of an adaptive limit.
+type LimitStats struct {
+	// Current is the live limit; Floor and Ceiling are its clamps.
+	Current int `json:"current"`
+	Floor   int `json:"floor"`
+	Ceiling int `json:"ceiling"`
+	// Raises and Cuts count additive increases and multiplicative
+	// decreases applied since construction.
+	Raises int64 `json:"raises"`
+	Cuts   int64 `json:"cuts"`
+}
+
+// Stats snapshots the limit.
+func (l *Limit) Stats() LimitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimitStats{
+		Current: l.current,
+		Floor:   l.cfg.Floor,
+		Ceiling: l.cfg.Ceiling,
+		Raises:  l.raises,
+		Cuts:    l.cuts,
+	}
+}

@@ -93,6 +93,9 @@ type Client struct {
 	requests  int64
 	failovers int64 // successes served by a non-owner replica
 	degraded  int64
+	// brownoutReroutes counts requests whose owner was deprioritized
+	// because its last probe reported raw-level brownout pressure.
+	brownoutReroutes int64
 }
 
 // NewClient validates the replica list and builds the routing tier.
@@ -248,7 +251,7 @@ func (c *Client) Owner(prompt, salt string) (string, bool) {
 // result carries one successful remote augmentation.
 type result struct {
 	augmented string
-	degraded  bool // the replica itself served fail-open
+	level     string // X-PAS-Degraded wire value; "" = full quality
 	replica   string
 }
 
@@ -272,22 +275,38 @@ type augmentWireResponse struct {
 // mirrors pas.System.AugmentContextDegraded so the proxy treats
 // in-process and clustered augmentation identically.
 func (c *Client) AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error) {
+	augmented, level, err := c.AugmentContextLevel(ctx, prompt, salt)
+	return augmented, level != "", err
+}
+
+// AugmentContextLevel is AugmentContextDegraded with the degradation
+// rung: the X-PAS-Degraded wire value the serving replica answered
+// with ("" full, "trim", "1" raw/fail-open). It implements the proxy's
+// level-aware augmenter interface.
+func (c *Client) AugmentContextLevel(ctx context.Context, prompt, salt string) (augmented, level string, err error) {
 	atomic.AddInt64(&c.requests, 1)
 	key := serving.Key(prompt, salt, c.cfg.Model)
 	cands := c.ring.Successors(key, 0) // live members, owner first
+	owner := ""
+	if len(cands) > 0 {
+		owner = cands[0]
+	}
+	cands = c.partitionByPressure(cands)
 	ctx, span := obs.StartSpan(ctx, "ring.route")
 	defer span.End()
-	if len(cands) > 0 {
-		span.SetAttr("ring.owner", cands[0])
+	if owner != "" {
+		span.SetAttr("ring.owner", owner)
 	}
 	res, err := c.tryCandidates(ctx, cands, prompt, salt)
 	if err == nil {
 		span.SetAttr("ring.replica", res.replica)
-		span.SetAttrBool("degraded", res.degraded)
-		if res.replica != "" && len(cands) > 0 && res.replica != cands[0] {
+		span.SetAttrBool("degraded", res.level != "")
+		// Failovers count against the true ring owner — a brownout
+		// demotion that lands the request elsewhere is a failover too.
+		if res.replica != "" && owner != "" && res.replica != owner {
 			atomic.AddInt64(&c.failovers, 1)
 		}
-		return res.augmented, res.degraded, nil
+		return res.augmented, res.level, nil
 	}
 	span.SetError(err)
 	if c.cfg.Degrade {
@@ -296,9 +315,46 @@ func (c *Client) AugmentContextDegraded(ctx context.Context, prompt, salt string
 		atomic.AddInt64(&c.degraded, 1)
 		obs.AddEvent(ctx, "ring.degraded", "cause", err.Error())
 		span.SetAttrBool("degraded", true)
-		return prompt, true, nil
+		return prompt, "1", nil
 	}
-	return "", false, err
+	return "", "", err
+}
+
+// partitionByPressure stably moves raw-brownout members behind every
+// healthy candidate: a replica announcing raw pressure answers only
+// passthroughs, so hedges and failovers should land on successors that
+// can still do full-quality work. Locality degrades gracefully — the
+// raw members stay candidates of last resort, and order within each
+// partition is preserved. A whole-fleet brownout leaves the original
+// order (nothing better to prefer).
+func (c *Client) partitionByPressure(cands []string) []string {
+	if len(cands) < 2 {
+		return cands
+	}
+	raw := 0
+	for _, u := range cands {
+		if c.mem.Pressure(u) == "raw" {
+			raw++
+		}
+	}
+	if raw == 0 || raw == len(cands) {
+		return cands
+	}
+	if c.mem.Pressure(cands[0]) == "raw" {
+		atomic.AddInt64(&c.brownoutReroutes, 1)
+	}
+	out := make([]string, 0, len(cands))
+	for _, u := range cands {
+		if c.mem.Pressure(u) != "raw" {
+			out = append(out, u)
+		}
+	}
+	for _, u := range cands {
+		if c.mem.Pressure(u) == "raw" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // tryCandidates serves one request from the candidate list. The
@@ -371,7 +427,7 @@ func (c *Client) callReplica(ctx context.Context, replica, prompt, salt string) 
 		done(true)
 	}
 	c.count(replica, true)
-	span.SetAttrBool("degraded", res.degraded)
+	span.SetAttrBool("degraded", res.level != "")
 	return res, nil
 }
 
@@ -416,8 +472,13 @@ func (c *Client) doAugment(ctx context.Context, replica, prompt, salt string) (r
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&wire); err != nil {
 		return result{}, fmt.Errorf("ring: replica %s: decoding response: %w", replica, err)
 	}
-	deg := wire.Degraded || resp.Header.Get("X-PAS-Degraded") == "1"
-	return result{augmented: wire.Augmented, degraded: deg, replica: replica}, nil
+	// The header carries the rung ("trim" or "1"); the body's boolean
+	// covers replicas old enough to flag degradation without a level.
+	level := resp.Header.Get("X-PAS-Degraded")
+	if level == "" && wire.Degraded {
+		level = "1"
+	}
+	return result{augmented: wire.Augmented, level: level, replica: replica}, nil
 }
 
 // breakerFor returns the replica's breaker, nil when disabled.
@@ -459,6 +520,9 @@ type Stats struct {
 	Requests  int64 `json:"requests"`
 	Failovers int64 `json:"failovers"`
 	Degraded  int64 `json:"degraded"`
+	// BrownoutReroutes counts requests whose owner was demoted behind
+	// healthier successors because it reported raw brownout pressure.
+	BrownoutReroutes int64 `json:"brownout_reroutes,omitempty"`
 	// Live is the routable member count; Members the full health table.
 	Live    int            `json:"live"`
 	Members []MemberStatus `json:"members"`
@@ -471,12 +535,13 @@ type Stats struct {
 // Stats returns a monitoring snapshot.
 func (c *Client) Stats() Stats {
 	s := Stats{
-		Requests:  atomic.LoadInt64(&c.requests),
-		Failovers: atomic.LoadInt64(&c.failovers),
-		Degraded:  atomic.LoadInt64(&c.degraded),
-		Live:      c.mem.Live(),
-		Members:   c.mem.Snapshot(),
-		Hedging:   c.hedger != nil,
+		Requests:         atomic.LoadInt64(&c.requests),
+		Failovers:        atomic.LoadInt64(&c.failovers),
+		Degraded:         atomic.LoadInt64(&c.degraded),
+		BrownoutReroutes: atomic.LoadInt64(&c.brownoutReroutes),
+		Live:             c.mem.Live(),
+		Members:          c.mem.Snapshot(),
+		Hedging:          c.hedger != nil,
 	}
 	c.mu.Lock()
 	// Per-replica traffic follows the live membership table, not the
@@ -523,6 +588,7 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		e.Counter("pas_ring_requests_total", "Requests entering the cluster routing tier.", float64(s.Requests))
 		e.Counter("pas_ring_failovers_total", "Requests served by a non-owner replica.", float64(s.Failovers))
 		e.Counter("pas_ring_degraded_total", "Requests served fail-open after the whole fleet failed.", float64(s.Degraded))
+		e.Counter("pas_ring_brownout_reroutes_total", "Requests whose owner was deprioritized for raw brownout pressure.", float64(s.BrownoutReroutes))
 		e.Gauge("pas_ring_live_members", "Members currently routable (up or suspect).", float64(s.Live))
 		adds, removes, _ := c.mem.Churn()
 		e.Counter("pas_ring_members_added_total", "Members joined at runtime.", float64(adds))

@@ -17,9 +17,11 @@ import (
 // augmented prompt and records which prompts it served; /v1/status
 // answers probes.
 type fakeReplica struct {
-	name  string
-	delay atomic.Int64 // nanoseconds added to every augment
-	fail  atomic.Int32 // HTTP status to answer augments with; 0 = 200
+	name     string
+	delay    atomic.Int64 // nanoseconds added to every augment
+	fail     atomic.Int32 // HTTP status to answer augments with; 0 = 200
+	pressure atomic.Value // brownout rung reported by /v1/status ("", "trim", "raw")
+	level    atomic.Value // X-PAS-Degraded value set on augment responses
 
 	mu     sync.Mutex
 	served map[string]int // prompt -> times served here
@@ -33,7 +35,11 @@ func newFakeReplica(t *testing.T, name string) *fakeReplica {
 		switch r.URL.Path {
 		case "/v1/status":
 			w.Header().Set("Content-Type", "application/json")
-			_, _ = w.Write([]byte(`{"status":"ok"}`))
+			body := `{"status":"ok"}`
+			if p, _ := f.pressure.Load().(string); p != "" {
+				body = fmt.Sprintf(`{"status":"ok","pressure":%q}`, p)
+			}
+			_, _ = w.Write([]byte(body))
 		case "/v1/augment":
 			if d := f.delay.Load(); d > 0 {
 				time.Sleep(time.Duration(d))
@@ -51,6 +57,9 @@ func newFakeReplica(t *testing.T, name string) *fakeReplica {
 			f.served[req.Prompt]++
 			f.mu.Unlock()
 			w.Header().Set("Content-Type", "application/json")
+			if lv, _ := f.level.Load().(string); lv != "" {
+				w.Header().Set("X-PAS-Degraded", lv)
+			}
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"augmented": req.Prompt + "\n[" + f.name + "]",
 			})

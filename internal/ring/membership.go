@@ -118,6 +118,12 @@ type member struct {
 	fails   int    // consecutive failures since the last success
 	lastErr string // most recent failure, for stats
 	since   time.Time
+	// pressure is the brownout rung the member's last successful probe
+	// reported ("", "trim", or "raw"). A raw-pressure member stays on
+	// the ring — it is healthy and still answers — but the client
+	// deprioritizes it so hedges and failovers land on replicas that
+	// can serve full-quality work.
+	pressure string
 
 	probes     int64
 	probeFails int64
@@ -307,7 +313,7 @@ func (m *Membership) probeLoop(ctx context.Context, url string) {
 func (m *Membership) ProbeOne(ctx context.Context, url string) {
 	// The probe runs without the table lock: a slow replica must not
 	// stall snapshots or the data path's health observations.
-	draining, err := m.probe(ctx, url)
+	draining, pressure, err := m.probe(ctx, url)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mem, ok := m.members[url]
@@ -317,6 +323,11 @@ func (m *Membership) ProbeOne(ctx context.Context, url string) {
 	mem.probes++
 	if err != nil {
 		mem.probeFails++
+	} else {
+		// Only a successful probe speaks for the replica's brownout
+		// rung; a failed one says nothing (the last reading stands
+		// until eviction takes the member off the ring anyway).
+		mem.pressure = pressure
 	}
 	m.applyLocked(mem, err, draining, true)
 }
@@ -334,18 +345,19 @@ func (m *Membership) ProbeAll(ctx context.Context) {
 // probe issues one GET ProbePath and reports whether the member looks
 // alive: any 2xx is healthy, everything else (or a transport error) is
 // a failure. A healthy body whose JSON status reads "draining" flags
-// the member as deliberately leaving; a non-JSON 2xx body stays plain
-// healthy for compatibility with simpler status endpoints.
-func (m *Membership) probe(ctx context.Context, url string) (draining bool, err error) {
+// the member as deliberately leaving, and its "pressure" field carries
+// the brownout rung; a non-JSON 2xx body stays plain healthy for
+// compatibility with simpler status endpoints.
+func (m *Membership) probe(ctx context.Context, url string) (draining bool, pressure string, err error) {
 	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+m.cfg.ProbePath, nil)
 	if err != nil {
-		return false, fmt.Errorf("ring: building probe: %w", err)
+		return false, "", fmt.Errorf("ring: building probe: %w", err)
 	}
 	resp, err := m.hc.Do(req)
 	if err != nil {
-		return false, fmt.Errorf("ring: probe %s: %w", url, err)
+		return false, "", fmt.Errorf("ring: probe %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	// Read (and thereby drain, so the transport can reuse the
@@ -354,15 +366,16 @@ func (m *Membership) probe(ctx context.Context, url string) (draining bool, err 
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return false, fmt.Errorf("ring: probe %s: status %d", url, resp.StatusCode)
+		return false, "", fmt.Errorf("ring: probe %s: status %d", url, resp.StatusCode)
 	}
 	var wire struct {
-		Status string `json:"status"`
+		Status   string `json:"status"`
+		Pressure string `json:"pressure"`
 	}
-	if jsonErr := json.Unmarshal(body, &wire); jsonErr == nil && wire.Status == wireDrainingStatus {
-		return true, nil
+	if jsonErr := json.Unmarshal(body, &wire); jsonErr == nil {
+		return wire.Status == wireDrainingStatus, wire.Pressure, nil
 	}
-	return false, nil
+	return false, "", nil
 }
 
 // Observe feeds a data-path outcome into the health table: the augment
@@ -445,6 +458,17 @@ func (m *Membership) applyLocked(mem *member, err error, draining, fromProbe boo
 	}
 }
 
+// Pressure returns the brownout rung a member last reported; ""
+// for unknown members or members that have not announced pressure.
+func (m *Membership) Pressure(url string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.members[url]; ok {
+		return mem.pressure
+	}
+	return ""
+}
+
 // failCount returns a member's consecutive-failure streak.
 func (m *Membership) failCount(url string) int {
 	m.mu.Lock()
@@ -462,6 +486,9 @@ type MemberStatus struct {
 	// Fails is the consecutive-failure streak; 0 for a healthy member.
 	Fails   int    `json:"fails,omitempty"`
 	LastErr string `json:"last_error,omitempty"`
+	// Pressure is the brownout rung the member last reported ("",
+	// "trim", or "raw"); the client deprioritizes raw-pressure members.
+	Pressure string `json:"pressure,omitempty"`
 	// Probes / ProbeFails are lifetime probe counters; Downs counts
 	// evictions from the ring; Drains counts graceful departures.
 	Probes     int64 `json:"probes"`
@@ -482,6 +509,7 @@ func (m *Membership) Snapshot() []MemberStatus {
 			State:      mem.state.String(),
 			Fails:      mem.fails,
 			LastErr:    mem.lastErr,
+			Pressure:   mem.pressure,
 			Probes:     mem.probes,
 			ProbeFails: mem.probeFails,
 			Downs:      mem.downs,

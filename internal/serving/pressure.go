@@ -1,0 +1,195 @@
+package serving
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Level is a rung of the brownout degradation ladder. Under rising
+// pressure the core steps full → trim → raw, shedding compute cost
+// before it has to shed requests; each rung is a strictly cheaper way
+// to still answer 200.
+type Level int32
+
+const (
+	// LevelFull serves the full-model complement.
+	LevelFull Level = iota
+	// LevelTrim serves the cheap complement (Config.CheapFn).
+	LevelTrim
+	// LevelRaw skips augmentation entirely: the caller answers with the
+	// raw prompt, flagged degraded, without touching admission.
+	LevelRaw
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelTrim:
+		return "trim"
+	case LevelRaw:
+		return "raw"
+	}
+	return "full"
+}
+
+// Header is l's X-PAS-Degraded wire value: empty for full service,
+// "trim" for the cheap complement, and "1" for raw passthrough — the
+// historical value existing consumers already test for, so a fully
+// browned-out response is indistinguishable from the legacy fail-open
+// path to clients that predate the ladder.
+func (l Level) Header() string {
+	switch l {
+	case LevelTrim:
+		return "trim"
+	case LevelRaw:
+		return "1"
+	}
+	return ""
+}
+
+// Ladder hysteresis bands, on the unitless pressure score in [0, 1]:
+// a rung is entered at the upper threshold and left at the lower one,
+// so a score oscillating around a boundary does not flap the ladder.
+const (
+	enterTrim = 0.50
+	exitTrim  = 0.35
+	enterRaw  = 0.85
+	exitRaw   = 0.60
+)
+
+// pressureAlpha is the EWMA smoothing factor for all gauge averages.
+// Event-driven (one update per observation, no wall-clock decay) so
+// trajectories are deterministic under a pinned test clock.
+const pressureAlpha = 0.2
+
+// pressureGauge condenses the admission path's state into one score:
+//
+//	score = 0.5·min(1, waitEWMA/QueueWait) + 0.5·utilizationEWMA
+//
+// Queue wait says how long admission is stalling requests relative to
+// the shed budget; utilization (inflight/limit) says how much headroom
+// the concurrency limit has left. Both at zero is a cold core; both at
+// one is a core about to shed. The gauge also tracks a service-time
+// EWMA, which prices Retry-After hints off the observed drain rate
+// instead of a constant.
+type pressureGauge struct {
+	queueWaitMs float64 // normalizer for the wait term
+
+	mu       sync.Mutex
+	waitEWMA float64 // admission wait, ms
+	utilEWMA float64 // inflight/limit, [0, 1]
+	svcEWMA  float64 // computation service time, ms
+	score    float64
+	level    Level
+	// atTrim / atRaw are the two hysteresis latches behind level: each
+	// sets at its enter threshold and clears at its (lower) exit one.
+	atTrim, atRaw bool
+	// transitions counts rung changes in either direction; the chaos
+	// e2e asserts the ladder actually moved.
+	transitions int64
+}
+
+func newPressureGauge(queueWait time.Duration) *pressureGauge {
+	return &pressureGauge{queueWaitMs: float64(queueWait) / float64(time.Millisecond)}
+}
+
+// observe folds one admission outcome into the gauge: how long the
+// request waited for a slot and the load (inflight/limit) at that
+// moment. Sheds observe their full budget as the wait — the queue was
+// saturated for at least that long.
+func (g *pressureGauge) observe(wait time.Duration, utilization float64) {
+	waitMs := float64(wait) / float64(time.Millisecond)
+	if utilization > 1 {
+		utilization = 1 // inflight can transiently exceed a freshly cut limit
+	}
+	g.mu.Lock()
+	g.waitEWMA += pressureAlpha * (waitMs - g.waitEWMA)
+	g.utilEWMA += pressureAlpha * (utilization - g.utilEWMA)
+	waitFrac := 0.0
+	if g.queueWaitMs > 0 {
+		waitFrac = g.waitEWMA / g.queueWaitMs
+		if waitFrac > 1 {
+			waitFrac = 1
+		}
+	}
+	g.score = 0.5*waitFrac + 0.5*g.utilEWMA
+	g.relevelLocked()
+	g.mu.Unlock()
+}
+
+// observeService folds one computation's duration into the drain-rate
+// estimate behind RetryAfter.
+func (g *pressureGauge) observeService(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	g.mu.Lock()
+	g.svcEWMA += pressureAlpha * (ms - g.svcEWMA)
+	g.mu.Unlock()
+}
+
+// relevelLocked applies the hysteresis bands to the current score. The
+// two boundaries are independent latches, so a spike can step the
+// ladder straight from full to raw and recovery retraces through trim.
+func (g *pressureGauge) relevelLocked() {
+	switch {
+	case g.score >= enterTrim:
+		g.atTrim = true
+	case g.score <= exitTrim:
+		g.atTrim = false
+	}
+	switch {
+	case g.score >= enterRaw:
+		g.atRaw = true
+	case g.score <= exitRaw:
+		g.atRaw = false
+	}
+	next := LevelFull
+	switch {
+	case g.atRaw:
+		next = LevelRaw
+	case g.atTrim:
+		next = LevelTrim
+	}
+	if next != g.level {
+		g.level = next
+		g.transitions++
+	}
+}
+
+// current returns the ladder rung the next miss should serve at.
+func (g *pressureGauge) current() Level {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.level
+}
+
+// retryAfter estimates, in whole seconds clamped to [1, 30], how long
+// a shed caller should back off: the time for the present queue to
+// drain at the observed service rate across limit-wide concurrency,
+// plus one service time for the retry itself.
+func (g *pressureGauge) retryAfter(waiting, limit int) int {
+	g.mu.Lock()
+	svc := g.svcEWMA
+	g.mu.Unlock()
+	if svc <= 0 {
+		return 1
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	rounds := float64(waiting)/float64(limit) + 1
+	secs := int(math.Ceil(svc * rounds / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// snapshot returns the gauge's state for Stats.
+func (g *pressureGauge) snapshot() (score float64, level Level, transitions int64, waitMs, svcMs float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.score, g.level, g.transitions, g.waitEWMA, g.svcEWMA
+}

@@ -7,11 +7,18 @@
 //     pure repeat work;
 //  2. single-flight deduplication — N concurrent identical requests
 //     trigger exactly one computation and share its result;
-//  3. a bounded admission queue with deadline-aware load shedding —
-//     at most MaxInFlight computations run at once, at most QueueDepth
-//     requests wait for a slot, and a request that cannot get a slot
-//     within its budget (QueueWait capped by the context deadline) is
-//     shed with a typed error the HTTP layer maps to 503 + Retry-After.
+//  3. tenant-aware bounded admission with deadline-aware load shedding
+//     — at most the live concurrency limit's worth of computations run
+//     at once (a static MaxInFlight, or an AIMD-adaptive limit with
+//     MaxInFlight as its ceiling), waiters queue per tenant under
+//     weighted deficit-round-robin, and a request that cannot get a
+//     slot within its budget (QueueWait capped by the context
+//     deadline) is shed with a typed error the HTTP layer maps to
+//     503 + Retry-After.
+//
+// Under sustained pressure the core also climbs a brownout ladder
+// (full → trim → raw) so it sheds computation cost before it sheds
+// requests; see Level and Config.Brownout.
 //
 // The package is pure library: it knows nothing about HTTP except the
 // optional StatsHandler, and the complement function is injected, so
@@ -38,8 +45,9 @@ type Func func(prompt, salt string) string
 // Typed shedding errors; the serving layers above map all of them to
 // 503 + Retry-After (or to graceful degradation when enabled).
 var (
-	// ErrQueueFull reports that MaxInFlight slots were busy and the
-	// admission queue was already holding QueueDepth waiters.
+	// ErrQueueFull reports that the concurrency limit was saturated and
+	// the admission queue was already holding its bound of waiters
+	// (globally, or the requesting tenant's share of it).
 	ErrQueueFull = errors.New("serving: admission queue full")
 	// ErrDeadline reports that no slot freed up within the request's
 	// wait budget (QueueWait, or less when the context deadline is
@@ -59,6 +67,11 @@ var (
 	ErrDraining = errors.New("serving: draining: new computations refused")
 )
 
+// trimKeySuffix scopes trim-level results to their own cache entries;
+// without it a browned-out computation would poison the full-quality
+// key for every later request.
+const trimKeySuffix = "\x00trim"
+
 // Config sizes the serving core. The zero value of any field selects
 // its default.
 type Config struct {
@@ -72,11 +85,14 @@ type Config struct {
 	// until evicted. For a fixed deterministic model TTL 0 is sound;
 	// set a TTL when the model behind the core can be retrained.
 	CacheTTL time.Duration
-	// MaxInFlight bounds concurrent complement computations. Default 64.
+	// MaxInFlight bounds concurrent complement computations: the static
+	// cap, or the ceiling of the adaptive limit when AdaptiveLimit is
+	// set. Default 64.
 	MaxInFlight int
-	// QueueDepth bounds requests waiting for a computation slot.
-	// Unlike the other fields, 0 is meaningful rather than a default:
-	// it disables waiting entirely, restoring instant hard-reject.
+	// QueueDepth bounds requests waiting for a computation slot across
+	// all tenants. Unlike the other fields, 0 is meaningful rather than
+	// a default: it disables waiting entirely, restoring instant
+	// hard-reject.
 	QueueDepth int
 	// QueueWait is the longest a request waits for a slot before being
 	// shed; the context deadline tightens it per request. Default 100ms.
@@ -89,8 +105,51 @@ type Config struct {
 	// BreakerCooldown is the open→half-open window. Default 2s when
 	// the breaker is armed.
 	BreakerCooldown time.Duration
-	// Now injects the clock for TTL expiry and breaker cooldowns;
-	// tests pin it. Default time.Now.
+
+	// AdaptiveLimit arms AIMD concurrency control: the live limit
+	// starts at MaxInFlight (now a ceiling), is cut multiplicatively on
+	// deadline misses and breaker trips, and regrows additively while
+	// admission-to-completion latency stays under LimitTarget.
+	AdaptiveLimit bool
+	// LimitFloor is the adaptive limit's lower clamp. Default 1.
+	LimitFloor int
+	// LimitTarget is the latency budget feeding the adaptive limit's
+	// additive increase. Default 25ms.
+	LimitTarget time.Duration
+
+	// Brownout arms the degradation ladder: under pressure the core
+	// steps full → trim (CheapFn) → raw passthrough before shedding.
+	Brownout bool
+	// CheapFn is the reduced-cost complement served at the trim rung;
+	// nil falls back to the full function, collapsing the ladder to
+	// full → raw.
+	CheapFn Func
+
+	// TenantWeights assigns DRR weights to known tenant ids; any other
+	// tenant gets DefaultTenantWeight (default 1). Under contention a
+	// tenant's share of computation slots is proportional to its weight.
+	TenantWeights map[string]int
+	// DefaultTenantWeight is the weight for tenants not listed in
+	// TenantWeights. Default 1.
+	DefaultTenantWeight int
+	// TenantQuotas caps a tenant's concurrent computations; 0 (or
+	// absent) leaves the tenant bounded only by the global limit.
+	TenantQuotas map[string]int
+	// TenantQueueDepth caps one tenant's waiters. 0 gives each tenant a
+	// weighted fair share of QueueDepth among tenants with work in the
+	// system — a lone tenant keeps the whole room.
+	TenantQueueDepth int
+	// MaxTenants bounds distinct tenant queues; ids beyond it share the
+	// OverflowTenant queue. Default 64.
+	MaxTenants int
+
+	// ComputeDelay injects a fixed sleep into every computation — an
+	// overload-drill knob for rehearsing brownouts against a live
+	// replica (see the README's "Surviving overload" runbook). 0 off.
+	ComputeDelay time.Duration
+
+	// Now injects the clock for TTL expiry, breaker cooldowns, and the
+	// adaptive limit; tests pin it. Default time.Now.
 	Now func() time.Time
 }
 
@@ -131,6 +190,43 @@ func (cfg *Config) applyDefaults() error {
 	if cfg.BreakerThreshold > 0 && cfg.BreakerCooldown == 0 {
 		cfg.BreakerCooldown = 2 * time.Second
 	}
+	if cfg.LimitFloor < 0 {
+		return fmt.Errorf("serving: LimitFloor must be >= 0, got %d", cfg.LimitFloor)
+	}
+	if cfg.LimitTarget < 0 {
+		return fmt.Errorf("serving: LimitTarget must be >= 0, got %v", cfg.LimitTarget)
+	}
+	if cfg.LimitTarget == 0 {
+		cfg.LimitTarget = 25 * time.Millisecond
+	}
+	if cfg.DefaultTenantWeight == 0 {
+		cfg.DefaultTenantWeight = 1
+	}
+	if cfg.DefaultTenantWeight < 0 {
+		return fmt.Errorf("serving: DefaultTenantWeight must be > 0, got %d", cfg.DefaultTenantWeight)
+	}
+	for id, w := range cfg.TenantWeights {
+		if w <= 0 {
+			return fmt.Errorf("serving: TenantWeights[%q] must be > 0, got %d", id, w)
+		}
+	}
+	for id, q := range cfg.TenantQuotas {
+		if q < 0 {
+			return fmt.Errorf("serving: TenantQuotas[%q] must be >= 0, got %d", id, q)
+		}
+	}
+	if cfg.TenantQueueDepth < 0 {
+		return fmt.Errorf("serving: TenantQueueDepth must be >= 0, got %d", cfg.TenantQueueDepth)
+	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = 64
+	}
+	if cfg.MaxTenants < 0 {
+		return fmt.Errorf("serving: MaxTenants must be > 0, got %d", cfg.MaxTenants)
+	}
+	if cfg.ComputeDelay < 0 {
+		return fmt.Errorf("serving: ComputeDelay must be >= 0, got %v", cfg.ComputeDelay)
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -140,12 +236,15 @@ func (cfg *Config) applyDefaults() error {
 // Core is the serving engine. Create with New; safe for concurrent use.
 type Core struct {
 	fn    Func
+	cheap Func // trim-rung complement; == fn unless CheapFn was set
 	cfg   Config
 	cache *cache // nil when caching is disabled
 
 	flight  flightGroup
-	slots   chan struct{}       // counting semaphore, cap MaxInFlight
-	queue   chan struct{}       // waiting tokens, cap QueueDepth
+	sched   *scheduler
+	limit   func() int          // live concurrency limit
+	limiter *resilience.Limit   // nil when AdaptiveLimit is off
+	gauge   *pressureGauge      // always armed; ladder gated by cfg.Brownout
 	breaker *resilience.Breaker // nil when BreakerThreshold == 0
 
 	// draining, once set, refuses new computations (ErrDraining) while
@@ -160,6 +259,8 @@ type Core struct {
 	shedBreaker   int64
 	shedDraining  int64
 	degraded      int64
+	servedTrim    int64
+	servedRaw     int64
 
 	lat *latencyRing
 }
@@ -174,11 +275,29 @@ func New(fn Func, cfg Config) (*Core, error) {
 	}
 	c := &Core{
 		fn:    fn,
+		cheap: fn,
 		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxInFlight),
-		queue: make(chan struct{}, cfg.QueueDepth),
+		gauge: newPressureGauge(cfg.QueueWait),
 		lat:   newLatencyRing(latencyWindow),
 	}
+	if cfg.CheapFn != nil {
+		c.cheap = cfg.CheapFn
+	}
+	c.limit = func() int { return cfg.MaxInFlight }
+	if cfg.AdaptiveLimit {
+		lim, err := resilience.NewLimit(resilience.LimitConfig{
+			Floor:   cfg.LimitFloor,
+			Ceiling: cfg.MaxInFlight,
+			Target:  cfg.LimitTarget,
+			Now:     cfg.Now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.limiter = lim
+		c.limit = lim.Current
+	}
+	c.sched = newScheduler(&cfg, c.limit)
 	if cfg.CacheSize > 0 {
 		c.cache = newCache(cfg.CacheSize, cfg.CacheShards, cfg.CacheTTL, cfg.Now)
 	}
@@ -226,14 +345,25 @@ func SplitKey(k string) (prompt, salt, model string, ok bool) {
 // Do serves one complement request through cache, dedup, and
 // admission. The model string scopes the cache key so one core can
 // front several model versions without cross-talk. On success it
-// returns p_c; on overload it returns ErrQueueFull or ErrDeadline; a
-// context that ends first returns its ctx.Err().
+// returns p_c; on overload it returns a typed shedding error; a
+// context that ends first returns its ctx.Err(). Callers that honor
+// the brownout ladder use DoLevel instead.
+func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, error) {
+	v, _, err := c.DoLevel(ctx, prompt, salt, model)
+	return v, err
+}
+
+// DoLevel is Do plus the brownout ladder: it reports the rung the
+// response was served at. At LevelFull and LevelTrim the returned
+// string is the (full or cheap) complement; at LevelRaw it is empty
+// and the caller must answer with the raw prompt, flagged degraded via
+// Level.Header. A draining core never degrades — it sheds.
 //
 //paslint:hotpath cache-hit path budget is key+lookup+finish; the paper's p50 assumes hits do not allocate
-func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, error) {
+func (c *Core) DoLevel(ctx context.Context, prompt, salt, model string) (string, Level, error) {
 	atomic.AddInt64(&c.requests, 1)
 	if err := ctx.Err(); err != nil {
-		return "", err // client already gone; don't compute for the dead
+		return "", LevelFull, err // client already gone; don't compute for the dead
 	}
 	start := c.cfg.Now()
 	k := Key(prompt, salt, model)
@@ -247,7 +377,7 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 			lookup.End()
 			span.SetStatus("cache_hit")
 			c.finish(start)
-			return v, nil
+			return v, LevelFull, nil
 		}
 		lookup.SetStatus("miss")
 	} else {
@@ -255,7 +385,61 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 	}
 	lookup.End()
 
-	v, shared, err := c.flight.do(ctx, k, func() (string, error) { //paslint:allow hotpathalloc miss-path leader closure; the hit path has already returned by this line
+	level := LevelFull
+	if c.cfg.Brownout && !c.draining.Load() {
+		level = c.gauge.current()
+	}
+	key, fn := k, c.fn
+	switch level {
+	case LevelRaw:
+		// The top rung sheds the computation, not the request: the
+		// caller answers with the raw prompt and admission is never
+		// touched, so the backlog drains. The zero-wait observation
+		// below is what walks the gauge back down while traffic keeps
+		// flowing.
+		inflight, limit := c.sched.load()
+		c.gauge.observe(0, utilization(inflight, limit))
+		atomic.AddInt64(&c.servedRaw, 1)
+		span.SetStatus("brownout_raw")
+		return "", LevelRaw, nil
+	case LevelTrim:
+		key = k + trimKeySuffix
+		fn = c.cheap
+		if c.cache != nil {
+			if v, ok := c.cache.get(key); ok {
+				// Trim hits observe like raw serves do: without this,
+				// pure repeat traffic would freeze the gauge at trim
+				// even after the backlog is long gone.
+				inflight, limit := c.sched.load()
+				c.gauge.observe(0, utilization(inflight, limit))
+				span.SetStatus("brownout_trim_hit")
+				atomic.AddInt64(&c.servedTrim, 1)
+				c.finish(start)
+				return v, LevelTrim, nil
+			}
+		}
+	}
+
+	v, shared, err := c.compute(ctx, key, fn, prompt, salt)
+	if shared {
+		atomic.AddInt64(&c.dedupHits, 1)
+		span.SetAttr("singleflight.role", "follower")
+	}
+	if err != nil {
+		span.SetError(err)
+		return "", level, err
+	}
+	if level == LevelTrim {
+		atomic.AddInt64(&c.servedTrim, 1)
+	}
+	c.finish(start)
+	return v, level, nil
+}
+
+// compute runs the admission-controlled single-flight computation for
+// key with fn (the full or the trim-rung complement).
+func (c *Core) compute(ctx context.Context, key string, fn Func, prompt, salt string) (string, bool, error) {
+	return c.flight.do(ctx, key, func() (string, error) {
 		// The single-flight leader runs here; followers share its
 		// outcome, so the spans below describe the one real computation.
 		//
@@ -264,9 +448,15 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 		// traffic (hits) and requests that joined an in-flight
 		// computation, but never starts new work. Shedding before the
 		// breaker keeps drain out of the breaker's failure accounting:
-		// draining is an operator action, not a health signal.
+		// draining is an operator action, not a health signal. And
+		// because the gate precedes the queue-capacity check, a drain
+		// that lands on a full queue still counts shed_draining — the
+		// drain is the reason the request is refused, the full queue is
+		// incidental.
+		tq := c.sched.arrive(TenantFrom(ctx))
 		if c.draining.Load() {
 			atomic.AddInt64(&c.shedDraining, 1)
+			c.sched.shedOther(tq)
 			return "", ErrDraining
 		}
 		_, qspan := obs.StartSpan(ctx, "serving.queue_wait")
@@ -276,20 +466,24 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 		// one failed computation is one recorded failure.
 		var done func(success bool)
 		if c.breaker != nil {
-			if qspan != nil {
-				qspan.SetAttr("breaker.state", c.breaker.Stats().State)
-			}
+			qspan.SetAttr("breaker.state", c.breaker.Stats().State)
 			var berr error
 			done, berr = c.breaker.Allow()
 			if berr != nil {
 				atomic.AddInt64(&c.shedBreaker, 1)
+				c.sched.shedOther(tq)
+				if c.limiter != nil {
+					c.limiter.OnOverload() // a trip is a congestion signal
+				}
 				qspan.SetError(ErrBreakerOpen)
 				qspan.End()
 				return "", ErrBreakerOpen
 			}
 		}
-		release, err := c.admit(ctx)
+		admitStart := c.cfg.Now()
+		release, err := c.sched.acquire(ctx, tq, c.waitBudget(ctx))
 		if err != nil {
+			c.noteShed(err)
 			if done != nil {
 				// Shed computations are the breaker's failure signal; a
 				// cancelled client says nothing about core health.
@@ -299,29 +493,69 @@ func (c *Core) Do(ctx context.Context, prompt, salt, model string) (string, erro
 			qspan.End()
 			return "", err
 		}
+		waited := c.cfg.Now().Sub(admitStart)
+		inflight, limit := c.sched.load()
+		c.gauge.observe(waited, utilization(inflight, limit))
 		qspan.End()
 		defer release()
 		_, compute := obs.StartSpan(ctx, "serving.compute")
-		out := c.fn(prompt, salt)
+		if c.cfg.ComputeDelay > 0 {
+			time.Sleep(c.cfg.ComputeDelay)
+		}
+		out := fn(prompt, salt)
+		total := c.cfg.Now().Sub(admitStart)
 		compute.End()
+		c.gauge.observeService(total - waited)
+		if c.limiter != nil {
+			c.limiter.OnSuccess(total)
+		}
 		if c.cache != nil {
-			c.cache.put(k, out)
+			c.cache.put(key, out)
 		}
 		if done != nil {
 			done(true)
 		}
 		return out, nil
 	})
-	if shared {
-		atomic.AddInt64(&c.dedupHits, 1)
-		span.SetAttr("singleflight.role", "follower")
+}
+
+// waitBudget is how long this request may wait for a slot: QueueWait,
+// tightened by the context deadline.
+func (c *Core) waitBudget(ctx context.Context) time.Duration {
+	wait := c.cfg.QueueWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
 	}
-	if err != nil {
-		span.SetError(err)
-		return "", err
+	return wait
+}
+
+// noteShed folds an admission shed into the global counters, the
+// adaptive limit, and the pressure gauge. Client cancellations are
+// not sheds and count nothing.
+func (c *Core) noteShed(err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		atomic.AddInt64(&c.shedQueueFull, 1)
+	case errors.Is(err, ErrDeadline):
+		atomic.AddInt64(&c.shedDeadline, 1)
+		if c.limiter != nil {
+			c.limiter.OnOverload() // the queue outran the drain rate
+		}
+	default:
+		return
 	}
-	c.finish(start)
-	return v, nil
+	// A shed observes its full wait budget at saturation: the queue was
+	// full, or stalled, for at least that long.
+	c.gauge.observe(c.cfg.QueueWait, 1)
+}
+
+func utilization(inflight, limit int) float64 {
+	if limit < 1 {
+		limit = 1
+	}
+	return float64(inflight) / float64(limit)
 }
 
 func (c *Core) finish(start time.Time) {
@@ -329,53 +563,20 @@ func (c *Core) finish(start time.Time) {
 	c.lat.observe(c.cfg.Now().Sub(start))
 }
 
-// admit acquires a computation slot: immediately when one is free,
-// otherwise by waiting in the bounded queue for at most the request's
-// budget. It returns the release function for the slot.
-func (c *Core) admit(ctx context.Context) (release func(), err error) {
-	select {
-	case c.slots <- struct{}{}:
-		return func() { <-c.slots }, nil
-	default:
-	}
-	// All slots busy: claim a waiting token or shed.
-	select {
-	case c.queue <- struct{}{}:
-	default:
-		atomic.AddInt64(&c.shedQueueFull, 1)
-		return nil, ErrQueueFull
-	}
-	defer func() { <-c.queue }()
+// RetryAfter is the backoff hint, in whole seconds, a shed response
+// should carry: the estimated time for the present backlog to drain at
+// the observed service rate, clamped to [1, 30]. Before any
+// computation has been observed it is 1 — the old fixed constant.
+func (c *Core) RetryAfter() int {
+	_, waiting := c.sched.depth()
+	return c.gauge.retryAfter(waiting, c.limit())
+}
 
-	wait := c.cfg.QueueWait
-	if dl, ok := ctx.Deadline(); ok {
-		if rem := time.Until(dl); rem < wait {
-			wait = rem
-		}
-	}
-	if wait <= 0 {
-		atomic.AddInt64(&c.shedDeadline, 1)
-		return nil, ErrDeadline
-	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-	select {
-	case c.slots <- struct{}{}:
-		return func() { <-c.slots }, nil
-	case <-timer.C:
-		atomic.AddInt64(&c.shedDeadline, 1)
-		return nil, ErrDeadline
-	case <-ctx.Done():
-		// A deadline that expires while queued is the same outcome as
-		// an exhausted wait budget (the two timers race when the
-		// deadline is the tighter bound); a cancellation is the client
-		// leaving and keeps its own error.
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			atomic.AddInt64(&c.shedDeadline, 1)
-			return nil, ErrDeadline
-		}
-		return nil, ctx.Err()
-	}
+// PressureLevel is the brownout ladder's current rung. It is one
+// mutex acquisition — cheap enough for the status probe a fleet of
+// ring members polls continuously.
+func (c *Core) PressureLevel() Level {
+	return c.gauge.current()
 }
 
 // NoteDegraded records that a caller fell back to the un-augmented
@@ -399,15 +600,15 @@ func (c *Core) Drain() bool {
 func (c *Core) Draining() bool { return c.draining.Load() }
 
 // Quiesce blocks until the core is idle — no computation slot held and
-// no request waiting in the admission queue — or ctx ends, returning
-// ctx's error in that case. Call it after Drain: with new work refused,
-// the queue can only empty, so this is the "exit when the queue is
-// empty or the drain deadline passes" half of a graceful shutdown.
+// no request waiting for admission — or ctx ends, returning ctx's
+// error in that case. Call it after Drain: with new work refused, the
+// queue can only empty, so this is the "exit when the queue is empty
+// or the drain deadline passes" half of a graceful shutdown.
 func (c *Core) Quiesce(ctx context.Context) error {
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		if len(c.slots) == 0 && len(c.queue) == 0 {
+		if inflight, waiting := c.sched.depth(); inflight == 0 && waiting == 0 {
 			return nil
 		}
 		select {

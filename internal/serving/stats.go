@@ -87,6 +87,31 @@ type Stats struct {
 	// the un-augmented prompt after this core failed them.
 	Degraded int64 `json:"degraded"`
 
+	// Limit is the live concurrency limit (MaxInFlight when static);
+	// AdaptiveLimit carries the AIMD limiter's snapshot when armed.
+	Limit         int                    `json:"limit"`
+	AdaptiveLimit *resilience.LimitStats `json:"adaptive_limit,omitempty"`
+
+	// PressureScore is the unitless overload score in [0, 1];
+	// PressureLevel is the brownout rung misses are served at ("full",
+	// "trim", "raw") and PressureTransitions counts rung changes.
+	// ServedTrim / ServedRaw count responses the ladder degraded.
+	PressureScore       float64 `json:"pressure_score"`
+	PressureLevel       string  `json:"pressure_level"`
+	PressureTransitions int64   `json:"pressure_transitions"`
+	ServedTrim          int64   `json:"served_trim"`
+	ServedRaw           int64   `json:"served_raw"`
+
+	// QueueWaitEWMAMs / ServiceEWMAMs are the smoothed admission-wait
+	// and computation times feeding the score and the Retry-After hint
+	// (RetryAfterHintS, seconds).
+	QueueWaitEWMAMs float64 `json:"queue_wait_ewma_ms"`
+	ServiceEWMAMs   float64 `json:"service_ewma_ms"`
+	RetryAfterHintS int     `json:"retry_after_hint_s"`
+
+	// Tenants is the per-tenant admission accounting, sorted by id.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+
 	// Breaker is the augmentation breaker's snapshot; nil when no
 	// breaker is armed.
 	Breaker *resilience.BreakerStats `json:"breaker,omitempty"`
@@ -109,10 +134,11 @@ type Stats struct {
 // Stats returns a consistent-enough snapshot (counters are read
 // atomically but not as one transaction; fine for monitoring).
 func (c *Core) Stats() Stats {
+	inflight, waiting := c.sched.depth()
 	s := Stats{
-		InFlight:      len(c.slots),
-		QueueDepth:    len(c.queue),
-		QueueCapacity: cap(c.queue),
+		InFlight:      inflight,
+		QueueDepth:    waiting,
+		QueueCapacity: c.cfg.QueueDepth,
 		Requests:      atomic.LoadInt64(&c.requests),
 		Completed:     atomic.LoadInt64(&c.completed),
 		ShedQueueFull: atomic.LoadInt64(&c.shedQueueFull),
@@ -121,9 +147,24 @@ func (c *Core) Stats() Stats {
 		ShedDraining:  atomic.LoadInt64(&c.shedDraining),
 		Draining:      c.draining.Load(),
 		Degraded:      atomic.LoadInt64(&c.degraded),
+		Limit:         c.limit(),
+		ServedTrim:    atomic.LoadInt64(&c.servedTrim),
+		ServedRaw:     atomic.LoadInt64(&c.servedRaw),
 	}
 	s.DedupHits = atomic.LoadInt64(&c.dedupHits)
 	s.Shed = s.ShedQueueFull + s.ShedDeadline + s.ShedBreaker + s.ShedDraining
+	if c.limiter != nil {
+		ls := c.limiter.Stats()
+		s.AdaptiveLimit = &ls
+	}
+	score, level, transitions, waitMs, svcMs := c.gauge.snapshot()
+	s.PressureScore = score
+	s.PressureLevel = level.String()
+	s.PressureTransitions = transitions
+	s.QueueWaitEWMAMs = waitMs
+	s.ServiceEWMAMs = svcMs
+	s.RetryAfterHintS = c.gauge.retryAfter(waiting, s.Limit)
+	s.Tenants = c.sched.tenantStats()
 	if c.breaker != nil {
 		bs := c.breaker.Stats()
 		s.Breaker = &bs
@@ -174,6 +215,38 @@ func (c *Core) RegisterMetrics(reg *obs.Registry) {
 		}
 		e.Gauge("pas_serving_draining", "Whether the core is draining for shutdown (1 = draining).", draining)
 		e.Counter("pas_serving_degraded_total", "Requests served fail-open with the raw prompt.", float64(s.Degraded))
+		e.Gauge("pas_serving_limit", "Live concurrency limit (AIMD-adaptive, or the static cap).", float64(s.Limit))
+		if s.AdaptiveLimit != nil {
+			e.Counter("pas_serving_limit_raises_total", "Additive increases applied to the adaptive limit.", float64(s.AdaptiveLimit.Raises))
+			e.Counter("pas_serving_limit_cuts_total", "Multiplicative decreases applied to the adaptive limit.", float64(s.AdaptiveLimit.Cuts))
+		}
+		e.Gauge("pas_serving_pressure_score", "Overload pressure score in [0, 1] (queue wait + limit headroom).", s.PressureScore)
+		levelNum := 0.0
+		switch s.PressureLevel {
+		case "trim":
+			levelNum = 1
+		case "raw":
+			levelNum = 2
+		}
+		e.Gauge("pas_serving_pressure_level", "Brownout ladder rung (0 full, 1 trim, 2 raw).", levelNum)
+		e.Counter("pas_serving_pressure_transitions_total", "Brownout ladder rung changes.", float64(s.PressureTransitions))
+		e.Counter("pas_serving_brownout_total", "Responses served below full quality, by rung.",
+			float64(s.ServedTrim), "level", "trim")
+		e.Counter("pas_serving_brownout_total", "Responses served below full quality, by rung.",
+			float64(s.ServedRaw), "level", "raw")
+		e.Gauge("pas_serving_retry_after_hint_seconds", "Current Retry-After hint for shed responses.", float64(s.RetryAfterHintS))
+		for _, ts := range s.Tenants {
+			e.Counter("pas_serving_tenant_requests_total", "Computation admissions attempted, by tenant.",
+				float64(ts.Requests), "tenant", ts.Tenant)
+			e.Counter("pas_serving_tenant_admitted_total", "Computations admitted, by tenant.",
+				float64(ts.Admitted), "tenant", ts.Tenant)
+			e.Counter("pas_serving_tenant_shed_total", "Requests shed, by tenant.",
+				float64(ts.Shed), "tenant", ts.Tenant)
+			e.Gauge("pas_serving_tenant_in_flight", "Computations running now, by tenant.",
+				float64(ts.InFlight), "tenant", ts.Tenant)
+			e.Gauge("pas_serving_tenant_waiting", "Requests queued for admission, by tenant.",
+				float64(ts.Waiting), "tenant", ts.Tenant)
+		}
 		e.Counter("pas_serving_dedup_hits_total", "Requests served by an in-flight duplicate.", float64(s.DedupHits))
 		e.Counter("pas_serving_cache_hits_total", "Result-cache hits.", float64(s.Cache.Hits))
 		e.Counter("pas_serving_cache_misses_total", "Result-cache misses.", float64(s.Cache.Misses))

@@ -269,6 +269,16 @@ func (m *Model) pickFacets(a facet.Analysis, prompt, salt string) []facet.Facet 
 	return out
 }
 
+// ComplementCheap is the brownout complement: one generic specificity
+// directive, rendered with no prompt analysis, no policy scoring, and
+// no defect simulation — constant work per call. It is what the
+// serving tier's trim rung serves when the full model's admission
+// queue is saturated: strictly less useful than Complement, still a
+// valid p_c (it only adds guidance), and far cheaper.
+func (m *Model) ComplementCheap(prompt, salt string) string {
+	return facet.RenderDirectives([]facet.Facet{facet.Specificity}, prompt+salt)
+}
+
 func (m *Model) draw(prompt, purpose, salt string) float64 {
 	return textkit.Unit(purpose+"\x00"+salt+"\x00"+prompt, m.seed)
 }

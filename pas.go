@@ -126,6 +126,14 @@ func (s *System) Complement(prompt, salt string) string {
 	return s.model.Complement(prompt, salt)
 }
 
+// ComplementCheap is the degraded-mode complement served at the
+// brownout ladder's trim rung (ServingConfig.Brownout): a constant-
+// work generic directive instead of the full policy inference. See
+// sft.Model.ComplementCheap.
+func (s *System) ComplementCheap(prompt, salt string) string {
+	return s.model.ComplementCheap(prompt, salt)
+}
+
 // Augment returns cat(p, p_c): the text to send to the downstream LLM.
 // The user's original prompt is preserved verbatim.
 func (s *System) Augment(prompt, salt string) string {
@@ -235,7 +243,7 @@ func (s *System) EnhanceContext(ctx context.Context, main Chatter, prompt, salt 
 	if main == nil {
 		return Enhanced{}, fmt.Errorf("pas: nil downstream model")
 	}
-	c, degraded, err := s.complementOrDegrade(ctx, prompt, salt)
+	c, _, degraded, err := s.complementOrDegrade(ctx, prompt, salt)
 	if err != nil {
 		return Enhanced{}, err
 	}

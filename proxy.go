@@ -40,6 +40,16 @@ type Augmenter interface {
 	AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error)
 }
 
+// LevelAugmenter is the optional refinement an Augmenter can implement
+// to name the degradation rung instead of a bare verdict: the returned
+// level is the X-PAS-Degraded wire value ("" full, "trim" the brownout
+// ladder's cheap complement, "1" raw passthrough). *System and the
+// ring client implement it; the proxy falls back to the boolean
+// interface (and the legacy "1" flag) for augmenters that do not.
+type LevelAugmenter interface {
+	AugmentContextLevel(ctx context.Context, prompt, salt string) (augmented, level string, err error)
+}
+
 // NewProxy creates a proxy augmenting via the in-process system.
 func NewProxy(system *System, upstreamURL string) (*Proxy, error) {
 	if system == nil {
@@ -108,8 +118,8 @@ type chatPayload struct {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/chat/completions") {
 		actx, span := obs.StartSpan(r.Context(), "proxy.augment")
-		degraded, err := p.augmentRequest(actx, r)
-		span.SetAttrBool("degraded", degraded)
+		level, err := p.augmentRequest(actx, r)
+		span.SetAttrBool("degraded", level != "")
 		if err != nil {
 			span.SetError(err)
 		}
@@ -128,10 +138,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf(`{"error":{"message":%q,"type":"pas_proxy_error"}}`, err.Error()), status)
 			return
 		}
-		if degraded {
-			// Fail-open fallback: the request goes upstream un-augmented.
-			// Never silent — flagged here and counted in /v1/stats.
-			w.Header().Set("X-PAS-Degraded", "1")
+		if level != "" {
+			// Below full quality — a fail-open fallback ("1") or a brownout
+			// rung ("trim"). Never silent: flagged here and counted in
+			// /v1/stats.
+			w.Header().Set("X-PAS-Degraded", level)
 		}
 	}
 	p.rp.ServeHTTP(w, r)
@@ -140,24 +151,24 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // augmentRequest rewrites the body in place: the last user message gets
 // the complementary prompt appended. All other fields — model, seed,
 // temperature, stream, anything the proxy does not know about — survive
-// byte-for-byte via generic JSON handling. The degraded result reports
-// that the system fell back to the raw prompt (ServingConfig.Degrade).
-// ctx carries the caller's span in addition to r.Context()'s deadline
-// and cancellation, so augmentation work parents under it.
-func (p *Proxy) augmentRequest(ctx context.Context, r *http.Request) (degraded bool, _ error) {
+// byte-for-byte via generic JSON handling. The returned level is the
+// X-PAS-Degraded wire value ("" when the augmentation ran at full
+// quality). ctx carries the caller's span in addition to r.Context()'s
+// deadline and cancellation, so augmentation work parents under it.
+func (p *Proxy) augmentRequest(ctx context.Context, r *http.Request) (level string, _ error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 	if err != nil {
-		return false, fmt.Errorf("reading request: %w", err)
+		return "", fmt.Errorf("reading request: %w", err)
 	}
 	_ = r.Body.Close() // request body: nothing actionable on close failure
 
 	var generic map[string]json.RawMessage
 	if err := json.Unmarshal(body, &generic); err != nil {
-		return false, fmt.Errorf("invalid JSON: %w", err)
+		return "", fmt.Errorf("invalid JSON: %w", err)
 	}
 	var payload chatPayload
 	if err := json.Unmarshal(body, &payload); err != nil {
-		return false, fmt.Errorf("invalid chat payload: %w", err)
+		return "", fmt.Errorf("invalid chat payload: %w", err)
 	}
 	last := -1
 	for i := len(payload.Messages) - 1; i >= 0; i-- {
@@ -176,23 +187,36 @@ func (p *Proxy) augmentRequest(ctx context.Context, r *http.Request) (degraded b
 		// when the system has one; the request context propagates
 		// deadlines and client disconnects into the queue. With Degrade
 		// enabled a PAS-side failure leaves the message untouched.
-		augmented, deg, err := p.system.AugmentContextDegraded(ctx, payload.Messages[last].Content, salt)
+		augmented, lvl, err := p.augmentLevel(ctx, payload.Messages[last].Content, salt)
 		if err != nil {
-			return false, err
+			return "", err
 		}
-		degraded = deg
+		level = lvl
 		payload.Messages[last].Content = augmented
 		msgs, err := json.Marshal(payload.Messages)
 		if err != nil {
-			return false, fmt.Errorf("re-encoding messages: %w", err)
+			return "", fmt.Errorf("re-encoding messages: %w", err)
 		}
 		generic["messages"] = msgs
 		if body, err = json.Marshal(generic); err != nil {
-			return false, fmt.Errorf("re-encoding request: %w", err)
+			return "", fmt.Errorf("re-encoding request: %w", err)
 		}
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))
 	r.Header.Set("Content-Length", fmt.Sprint(len(body)))
-	return degraded, nil
+	return level, nil
+}
+
+// augmentLevel calls the level-aware interface when the augmenter has
+// one, otherwise maps the boolean verdict onto the legacy "1" flag.
+func (p *Proxy) augmentLevel(ctx context.Context, prompt, salt string) (augmented, level string, err error) {
+	if la, ok := p.system.(LevelAugmenter); ok {
+		return la.AugmentContextLevel(ctx, prompt, salt)
+	}
+	augmented, degraded, err := p.system.AugmentContextDegraded(ctx, prompt, salt)
+	if degraded {
+		level = "1"
+	}
+	return augmented, level, err
 }

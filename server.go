@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,10 +36,14 @@ type AugmentResponse struct {
 	Augmented string `json:"augmented"`
 	// Model is the PAS base model name.
 	Model string `json:"model"`
-	// Degraded reports that the augmentation path failed and the
-	// service fell back to the raw prompt (ServingConfig.Degrade);
-	// Complement is empty and Augmented equals Prompt.
+	// Degraded reports that the response is below full quality: the
+	// augmentation path failed and the service fell back to the raw
+	// prompt (ServingConfig.Degrade), or the brownout ladder served a
+	// reduced rung (ServingConfig.Brownout).
 	Degraded bool `json:"degraded,omitempty"`
+	// DegradedLevel names the rung when Degraded: "trim" for the cheap
+	// complement, "1" for raw passthrough (the legacy fail-open value).
+	DegradedLevel string `json:"degraded_level,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -90,6 +95,42 @@ type ServingConfig struct {
 	// proxy), never silent. Sound for PAS because the complement only
 	// ever adds guidance — the raw prompt is always a valid request.
 	Degrade bool
+
+	// AdaptiveLimit replaces the static in-flight cap with an AIMD
+	// limit that climbs on fast completions and halves on deadline
+	// misses and breaker trips; MaxInFlight becomes its ceiling.
+	AdaptiveLimit bool
+	// LimitFloor is the adaptive limit's lower clamp (default 1).
+	LimitFloor int
+	// LimitTarget is the latency below which a completion argues for
+	// raising the adaptive limit (default 25ms).
+	LimitTarget time.Duration
+
+	// Brownout arms the degradation ladder: under queue pressure the
+	// core steps full complement → cheap complement (trim) → raw
+	// passthrough before it starts hard-shedding. Responses carry the
+	// rung in X-PAS-Degraded ("trim", then "1").
+	Brownout bool
+
+	// TenantWeights biases the fair-share admission queue: a tenant
+	// with weight 3 drains three requests per round for every one of a
+	// weight-1 tenant. Unlisted tenants get DefaultTenantWeight.
+	TenantWeights map[string]int
+	// DefaultTenantWeight is the weight of unlisted tenants (default 1).
+	DefaultTenantWeight int
+	// TenantQuotas caps a tenant's concurrent computations; excess
+	// requests queue behind the tenant's own traffic. 0 = no cap.
+	TenantQuotas map[string]int
+	// TenantQueueDepth caps each tenant's share of the waiting room.
+	// 0 derives the cap from QueueDepth weighted by tenant weight.
+	TenantQueueDepth int
+	// MaxTenants bounds the tenant accounting table; ids beyond it
+	// share one overflow queue (default 64).
+	MaxTenants int
+
+	// ComputeDelay pads every complement computation — an overload-
+	// drill knob for load tests, never set in production.
+	ComputeDelay time.Duration
 }
 
 // EnableServing puts the admission-controlled, deduplicating, cached
@@ -101,15 +142,29 @@ func (s *System) EnableServing(cfg ServingConfig) error {
 	if cfg.Retries < 0 {
 		return fmt.Errorf("pas: Retries must be >= 0, got %d", cfg.Retries)
 	}
-	core, err := serving.New(s.Complement, serving.Config{
-		CacheSize:        cfg.CacheSize,
-		CacheTTL:         cfg.CacheTTL,
-		MaxInFlight:      cfg.MaxInFlight,
-		QueueDepth:       cfg.QueueDepth,
-		QueueWait:        cfg.QueueWait,
-		BreakerThreshold: cfg.BreakerThreshold,
-		BreakerCooldown:  cfg.BreakerCooldown,
-	})
+	scfg := serving.Config{
+		CacheSize:           cfg.CacheSize,
+		CacheTTL:            cfg.CacheTTL,
+		MaxInFlight:         cfg.MaxInFlight,
+		QueueDepth:          cfg.QueueDepth,
+		QueueWait:           cfg.QueueWait,
+		BreakerThreshold:    cfg.BreakerThreshold,
+		BreakerCooldown:     cfg.BreakerCooldown,
+		AdaptiveLimit:       cfg.AdaptiveLimit,
+		LimitFloor:          cfg.LimitFloor,
+		LimitTarget:         cfg.LimitTarget,
+		Brownout:            cfg.Brownout,
+		TenantWeights:       cfg.TenantWeights,
+		DefaultTenantWeight: cfg.DefaultTenantWeight,
+		TenantQuotas:        cfg.TenantQuotas,
+		TenantQueueDepth:    cfg.TenantQueueDepth,
+		MaxTenants:          cfg.MaxTenants,
+		ComputeDelay:        cfg.ComputeDelay,
+	}
+	if cfg.Brownout {
+		scfg.CheapFn = s.ComplementCheap
+	}
+	core, err := serving.New(s.Complement, scfg)
 	if err != nil {
 		return err
 	}
@@ -138,11 +193,22 @@ func (s *System) EnableServing(cfg ServingConfig) error {
 // IsOverloaded(err) is true. Without EnableServing it computes
 // directly and never fails.
 func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (string, error) {
+	c, _, err := s.complementLevel(ctx, prompt, salt)
+	return c, err
+}
+
+// complementLevel is ComplementContext plus the brownout rung the core
+// chose. A trim-level result is the cheap complement; a raw-level
+// result is an empty complement with no error — the caller proceeds
+// with the un-augmented prompt.
+func (s *System) complementLevel(ctx context.Context, prompt, salt string) (string, serving.Level, error) {
 	if s.core == nil {
-		return s.Complement(prompt, salt), nil
+		return s.Complement(prompt, salt), serving.LevelFull, nil
 	}
+	var level serving.Level
 	do := func(ctx context.Context) (string, error) {
-		v, err := s.core.Do(ctx, prompt, salt, s.BaseModel())
+		v, lvl, err := s.core.DoLevel(ctx, prompt, salt, s.BaseModel())
+		level = lvl
 		if errors.Is(err, serving.ErrBreakerOpen) || errors.Is(err, serving.ErrDraining) {
 			// Retrying against an open breaker (or a draining core —
 			// drain is one-way) only burns the backoff budget; mark
@@ -153,9 +219,11 @@ func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (st
 		return v, err
 	}
 	if s.retries == 0 {
-		return do(ctx)
+		v, err := do(ctx)
+		return v, level, err
 	}
-	return resilience.DoValue(ctx, s.retry, do)
+	v, err := resilience.DoValue(ctx, s.retry, do)
+	return v, level, err
 }
 
 // complementOrDegrade runs the complement through the serving layers
@@ -165,17 +233,21 @@ func (s *System) ComplementContext(ctx context.Context, prompt, salt string) (st
 // are the one overload that never degrades: a draining replica must
 // answer 503 so its router fails the request over to a peer, instead of
 // fail-open 200s keeping traffic pinned to a process on its way out.
-func (s *System) complementOrDegrade(ctx context.Context, prompt, salt string) (complement string, degraded bool, err error) {
-	c, err := s.ComplementContext(ctx, prompt, salt)
+// With Brownout armed the core may also answer below full quality
+// without any failure; the returned level carries the rung (raw-level
+// results report degraded with the complement empty, mirroring the
+// fail-open shape).
+func (s *System) complementOrDegrade(ctx context.Context, prompt, salt string) (complement string, level serving.Level, degraded bool, err error) {
+	c, level, err := s.complementLevel(ctx, prompt, salt)
 	if err == nil {
-		return c, false, nil
+		return c, level, level != serving.LevelFull, nil
 	}
 	if s.degrade && IsOverloaded(err) && !IsDraining(err) {
 		s.core.NoteDegraded()
 		obs.AddEvent(ctx, "augment.degraded", "cause", err.Error())
-		return "", true, nil
+		return "", serving.LevelRaw, true, nil
 	}
-	return "", false, err
+	return "", serving.LevelFull, false, err
 }
 
 // RegisterMetrics exposes the serving core's counters on reg (see
@@ -200,14 +272,23 @@ func (s *System) AugmentContext(ctx context.Context, prompt, salt string) (strin
 // verdict, for callers (the proxy, the augment handler) that must
 // surface fail-open fallbacks instead of hiding them.
 func (s *System) AugmentContextDegraded(ctx context.Context, prompt, salt string) (augmented string, degraded bool, err error) {
-	c, degraded, err := s.complementOrDegrade(ctx, prompt, salt)
+	aug, level, err := s.AugmentContextLevel(ctx, prompt, salt)
+	return aug, level != "", err
+}
+
+// AugmentContextLevel is AugmentContextDegraded with the degradation
+// rung as its X-PAS-Degraded wire value: "" full quality, "trim" the
+// brownout ladder's cheap complement, "1" raw passthrough (fail-open
+// fallback or the ladder's last rung before shedding).
+func (s *System) AugmentContextLevel(ctx context.Context, prompt, salt string) (augmented, level string, err error) {
+	c, lvl, _, err := s.complementOrDegrade(ctx, prompt, salt)
 	if err != nil {
-		return "", false, err
+		return "", "", err
 	}
 	if c == "" {
-		return prompt, degraded, nil
+		return prompt, lvl.Header(), nil
 	}
-	return prompt + "\n" + c, degraded, nil
+	return prompt + "\n" + c, lvl.Header(), nil
 }
 
 // IsOverloaded reports whether err from a context-taking entry point
@@ -321,10 +402,21 @@ func (s *System) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
+	// The brownout rung rides along (one mutex read, still cheap) so
+	// ring routers can steer hedges away from a browned-out replica
+	// before sending it more work.
+	pressure := ""
+	if s.core != nil {
+		pressure = s.core.PressureLevel().String()
+		if pressure == "full" {
+			pressure = ""
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Model  string `json:"model"`
-	}{Status: status, Model: s.BaseModel()})
+		Status   string `json:"status"`
+		Model    string `json:"model"`
+		Pressure string `json:"pressure,omitempty"`
+	}{Status: status, Model: s.BaseModel(), Pressure: pressure})
 }
 
 // handleDrain is the admin half of a rolling restart: it flips the
@@ -394,12 +486,12 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 	// still answer); without one, shed here so a bare System still
 	// honors the drain protocol.
 	if s.core == nil && s.Draining() {
-		writeOverloaded(w, serving.ErrDraining)
+		s.writeOverloaded(w, serving.ErrDraining)
 		return
 	}
-	c, degraded, err := s.complementOrDegrade(r.Context(), req.Prompt, req.Salt)
+	c, level, degraded, err := s.complementOrDegrade(r.Context(), req.Prompt, req.Salt)
 	if err != nil {
-		writeOverloaded(w, err)
+		s.writeOverloaded(w, err)
 		return
 	}
 	resp := AugmentResponse{
@@ -410,25 +502,41 @@ func (s *System) handleAugment(w http.ResponseWriter, r *http.Request) {
 		Degraded:   degraded,
 	}
 	if degraded {
-		resp.Augmented = req.Prompt
-		w.Header().Set("X-PAS-Degraded", "1")
+		if c == "" {
+			resp.Augmented = req.Prompt
+		}
+		resp.DegradedLevel = level.Header()
+		w.Header().Set("X-PAS-Degraded", level.Header())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeOverloaded answers a shed (or client-abandoned) request. Loaded
-// sheds carry Retry-After so well-behaved clients back off instead of
-// hammering a saturated core; drain sheds carry it so routers retry
+// sheds carry Retry-After priced from the core's observed queue-drain
+// rate — the backlog divided by the admission limit, times the service
+// EWMA — so well-behaved clients back off for roughly as long as the
+// congestion will actually last; drain sheds carry it so routers retry
 // elsewhere immediately.
-func writeOverloaded(w http.ResponseWriter, err error) {
+func (s *System) writeOverloaded(w http.ResponseWriter, err error) {
 	if serving.Overloaded(err) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 	}
 	prefix := "server overloaded: "
 	if IsDraining(err) {
 		prefix = "shutting down: "
 	}
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: prefix + err.Error()})
+}
+
+// RetryAfterHint is the congestion-priced Retry-After in whole seconds
+// — the core's queue-drain estimate, or 1 when serving is not enabled.
+// Outer backpressure layers (httpmw.ConcurrencyLimitHint) use it so
+// their refusals carry the same advice as the core's own sheds.
+func (s *System) RetryAfterHint() int {
+	if s.core != nil {
+		return s.core.RetryAfter()
+	}
+	return 1
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -112,12 +112,13 @@ func TestAugmentShedsDisconnectedClient(t *testing.T) {
 // client-side errors do not invite a retry.
 func TestWriteOverloadedSetsRetryAfter(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeOverloaded(rec, serving.ErrQueueFull)
+	sys := new(System) // no core: the hint falls back to the constant 1
+	sys.writeOverloaded(rec, serving.ErrQueueFull)
 	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("queue-full: code %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
 	}
 	rec = httptest.NewRecorder()
-	writeOverloaded(rec, context.Canceled)
+	sys.writeOverloaded(rec, context.Canceled)
 	if rec.Header().Get("Retry-After") != "" {
 		t.Fatal("client cancellation should not invite a retry")
 	}
